@@ -1,0 +1,115 @@
+package asqprl
+
+// This file maps every table and figure of the paper's evaluation (Section
+// 6) to a testing.B benchmark. Each benchmark executes the corresponding
+// experiment runner from internal/experiments at smoke sizing and reports
+// the headline numbers through b.ReportMetric, so `go test -bench=.` both
+// regenerates the paper's artifacts and times them. Full-size runs are
+// produced by `go run ./cmd/asqp-bench -run <id>`; EXPERIMENTS.md records
+// paper-vs-measured values from those runs.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"asqprl/internal/experiments"
+)
+
+// runExperiment executes one experiment per benchmark iteration and reports
+// a headline metric parsed from the first table when available.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	r, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := experiments.Fast()
+	var tables []*experiments.Table
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err = r.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if metric, ok := headline(tables); ok {
+		b.ReportMetric(metric, "headline_score")
+	}
+}
+
+// headline extracts the first parseable numeric cell of the first table's
+// first row (typically ASQP-RL's score).
+func headline(tables []*experiments.Table) (float64, bool) {
+	if len(tables) == 0 || len(tables[0].Rows) == 0 {
+		return 0, false
+	}
+	for _, cell := range tables[0].Rows[0] {
+		s := strings.SplitN(cell, "±", 2)[0]
+		s = strings.TrimSuffix(s, "ms")
+		s = strings.TrimSuffix(s, "%")
+		if v, err := strconv.ParseFloat(s, 64); err == nil {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// BenchmarkFig2OverallEvaluation regenerates Figure 2: score, setup time and
+// per-query time for ASQP-RL, ASQP-Light, the VAE and all nine subset
+// baselines on IMDB and MAS.
+func BenchmarkFig2OverallEvaluation(b *testing.B) { runExperiment(b, "fig2") }
+
+// BenchmarkFig3RLAblation regenerates Figure 3: {GSL, DRP, DRP+GSL} × {full,
+// −ppo, −ppo−ac}.
+func BenchmarkFig3RLAblation(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4ProblemJustification regenerates Figure 4: cumulative average
+// direct-query latency vs database blow-up factor.
+func BenchmarkFig4ProblemJustification(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5EstimatorQuality regenerates Figure 5 and the Section 6.2
+// fallback variants: estimator precision/recall vs training fraction.
+func BenchmarkFig5EstimatorQuality(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6NoWorkload regenerates Figure 6: the unknown-workload mode on
+// FLIGHTS with iterative refinement, vs RAN and QRD.
+func BenchmarkFig6NoWorkload(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7DriftFineTuning regenerates Figure 7: interest-drift
+// detection and fine-tuning over three workload clusters.
+func BenchmarkFig7DriftFineTuning(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8MemorySweep regenerates Figure 8: score vs memory budget k.
+func BenchmarkFig8MemorySweep(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9FrameSweep regenerates Figure 9: score vs frame size F.
+func BenchmarkFig9FrameSweep(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10TrainingSetSize regenerates Figure 10: score and setup time
+// vs the executed fraction of training queries.
+func BenchmarkFig10TrainingSetSize(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11Hyperparams regenerates Figure 11: entropy, learning-rate
+// and KL coefficient sweeps.
+func BenchmarkFig11Hyperparams(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12Aggregates regenerates Figure 12: aggregate relative error
+// by operator vs the VAE (gAQP) and SPN (DeepDB) comparators.
+func BenchmarkFig12Aggregates(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkDiversity regenerates the Section 6.2 diversity comparison.
+func BenchmarkDiversity(b *testing.B) { runExperiment(b, "div") }
+
+// BenchmarkAblationRepSelection regenerates the representative-selection
+// ablation called out in DESIGN.md.
+func BenchmarkAblationRepSelection(b *testing.B) { runExperiment(b, "abl-reps") }
+
+// BenchmarkAblationRelaxation regenerates the query-relaxation ablation
+// called out in DESIGN.md.
+func BenchmarkAblationRelaxation(b *testing.B) { runExperiment(b, "abl-relax") }
+
+// BenchmarkScaleCrossover runs the reproduction-extension experiment growing
+// the dataset under fixed time budgets.
+func BenchmarkScaleCrossover(b *testing.B) { runExperiment(b, "crossover") }

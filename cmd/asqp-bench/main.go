@@ -1,0 +1,82 @@
+// Command asqp-bench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	asqp-bench -run fig2            # one experiment at full sizing
+//	asqp-bench -run all -fast      # every experiment at smoke sizing
+//	asqp-bench -list               # list experiment ids
+//
+// Experiment ids map to the paper's artifacts; see DESIGN.md for the
+// per-experiment index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"asqprl/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to run (or 'all')")
+	list := flag.Bool("list", false, "list available experiments")
+	fast := flag.Bool("fast", false, "use smoke-test sizing instead of full sizing")
+	scale := flag.Float64("scale", 0, "override dataset scale factor")
+	seeds := flag.Int("seeds", 0, "override repetition count")
+	seed := flag.Int64("seed", 0, "override base random seed")
+	flag.Parse()
+
+	if *list || *run == "" {
+		fmt.Println("Available experiments:")
+		for _, r := range experiments.Registry() {
+			fmt.Printf("  %-10s %s\n", r.ID, r.Description)
+		}
+		if *run == "" {
+			fmt.Println("\nRun with: asqp-bench -run <id> [-fast]")
+		}
+		return
+	}
+
+	params := experiments.Full()
+	if *fast {
+		params = experiments.Fast()
+	}
+	if *scale > 0 {
+		params.Scale = *scale
+	}
+	if *seeds > 0 {
+		params.Seeds = *seeds
+	}
+	if *seed != 0 {
+		params.Seed = *seed
+	}
+
+	var runners []experiments.Runner
+	if *run == "all" {
+		runners = experiments.Registry()
+	} else {
+		r, err := experiments.ByID(*run)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		runners = []experiments.Runner{r}
+	}
+
+	for _, r := range runners {
+		fmt.Printf("# %s — %s\n", r.ID, r.Description)
+		start := time.Now()
+		tables, err := r.Run(params)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			fmt.Println()
+			t.Render(os.Stdout)
+		}
+		fmt.Printf("\n(%s completed in %s)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,228 @@
+// Command asqp is the end-to-end ASQP-RL tool: it loads a database (CSV
+// files or a built-in synthetic dataset), trains an approximation set from a
+// workload file (or a generated workload), and then answers queries against
+// it — falling back to the full database when the answerability estimator
+// says the approximation set cannot serve a query.
+//
+// Usage:
+//
+//	# Train on the synthetic IMDB dataset with a generated workload and
+//	# answer two queries:
+//	asqp -dataset imdb -scale 0.1 -k 500 \
+//	     -query "SELECT * FROM title WHERE genre = 'drama' AND rating > 7" \
+//	     -query "SELECT name FROM name WHERE birth_year > 1990"
+//
+//	# Load CSVs from a directory and a workload file (one query per line):
+//	asqp -data ./data -workload queries.sql -k 1000 -query "..."
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"asqprl/internal/core"
+	"asqprl/internal/datagen"
+	"asqprl/internal/table"
+	"asqprl/internal/workload"
+)
+
+type queryList []string
+
+func (q *queryList) String() string { return strings.Join(*q, "; ") }
+
+func (q *queryList) Set(v string) error {
+	*q = append(*q, v)
+	return nil
+}
+
+func main() {
+	dataset := flag.String("dataset", "", "built-in dataset: imdb, mas or flights")
+	scale := flag.Float64("scale", 0.1, "synthetic dataset scale")
+	dataDir := flag.String("data", "", "directory of CSV tables (alternative to -dataset)")
+	workloadFile := flag.String("workload", "", "file with one SQL query per line (omit to generate)")
+	k := flag.Int("k", 1000, "memory budget: tuples in the approximation set")
+	frame := flag.Int("f", 50, "frame size F")
+	episodes := flag.Int("episodes", 0, "RL training episodes (0 = default)")
+	light := flag.Bool("light", false, "use the ASQP-Light configuration")
+	seed := flag.Int64("seed", 1, "random seed")
+	saveFile := flag.String("save", "", "save the trained system to this file")
+	loadFile := flag.String("load", "", "load a previously saved system instead of training")
+	var queries queryList
+	flag.Var(&queries, "query", "query to answer after training (repeatable)")
+	flag.Parse()
+
+	db, err := loadDB(*dataset, *dataDir, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("database: %d tables, %d tuples\n", len(db.TableNames()), db.TotalRows())
+
+	var sys *core.System
+	if *loadFile != "" {
+		f, err := os.Open(*loadFile)
+		if err != nil {
+			fatal(err)
+		}
+		sys, err = core.Load(db, bufio.NewReader(f))
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("loaded system from %s: approximation set of %d tuples\n",
+			*loadFile, sys.Set().Size())
+	} else {
+		w, err := loadWorkload(*workloadFile, db, *seed)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("workload: %d queries\n", len(w))
+
+		cfg := core.DefaultConfig()
+		if *light {
+			cfg = core.LightConfig()
+		}
+		cfg.K = *k
+		cfg.F = *frame
+		cfg.Seed = *seed
+		if *episodes > 0 {
+			cfg.Episodes = *episodes
+		}
+
+		start := time.Now()
+		sys, err = core.Train(db, w, cfg)
+		if err != nil {
+			fatal(err)
+		}
+		stats := sys.Stats()
+		fmt.Printf("trained in %s (preprocess %s, RL %s): approximation set of %d tuples, %d representatives, %d actions\n",
+			time.Since(start).Round(time.Millisecond),
+			stats.PreprocessTime.Round(time.Millisecond),
+			stats.TrainTime.Round(time.Millisecond),
+			stats.SetSize, stats.Representatives, stats.Candidates)
+
+		if trainScore, err := sys.ScoreOn(w); err == nil {
+			fmt.Printf("training-workload score: %.3f\n", trainScore)
+		}
+	}
+
+	if *saveFile != "" {
+		f, err := os.Create(*saveFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sys.Save(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved system to %s\n", *saveFile)
+	}
+
+	for _, q := range queries {
+		fmt.Printf("\n> %s\n", q)
+		start := time.Now()
+		res, err := sys.Query(q)
+		if err != nil {
+			fmt.Printf("  error: %v\n", err)
+			continue
+		}
+		source := "approximation set"
+		if !res.FromApproximation {
+			source = "full database (estimator fallback)"
+		}
+		fmt.Printf("  %d rows in %s from %s (predicted score %.2f, confidence %.2f)\n",
+			res.Table.NumRows(), time.Since(start).Round(time.Microsecond), source,
+			res.PredictedScore, res.Confidence)
+		limit := 5
+		if res.Table.NumRows() < limit {
+			limit = res.Table.NumRows()
+		}
+		for i := 0; i < limit; i++ {
+			cells := make([]string, len(res.Table.Rows[i]))
+			for j, v := range res.Table.Rows[i] {
+				cells[j] = v.String()
+			}
+			fmt.Printf("  | %s\n", strings.Join(cells, " | "))
+		}
+		if res.Table.NumRows() > limit {
+			fmt.Printf("  ... (%d more rows)\n", res.Table.NumRows()-limit)
+		}
+		if res.DriftTriggered {
+			fmt.Println("  [interest drift detected — consider fine-tuning]")
+		}
+	}
+}
+
+func loadDB(dataset, dataDir string, scale float64, seed int64) (*table.Database, error) {
+	switch {
+	case dataDir != "":
+		entries, err := filepath.Glob(filepath.Join(dataDir, "*.csv"))
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) == 0 {
+			return nil, fmt.Errorf("no CSV files in %s", dataDir)
+		}
+		db := table.NewDatabase()
+		for _, path := range entries {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			name := strings.TrimSuffix(filepath.Base(path), ".csv")
+			t, err := table.ReadCSV(name, bufio.NewReader(f))
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			db.Add(t)
+		}
+		return db, nil
+	case dataset == "imdb" || dataset == "":
+		return datagen.IMDB(scale, seed), nil
+	case dataset == "mas":
+		return datagen.MAS(scale, seed), nil
+	case dataset == "flights":
+		return datagen.Flights(scale, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+func loadWorkload(path string, db *table.Database, seed int64) (workload.Workload, error) {
+	if path == "" {
+		// No workload given: generate one from database statistics
+		// (Section 4.5 of the paper).
+		return core.GenerateWorkload(db, core.GenOptions{N: 30, Seed: seed})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var sqls []string
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		sqls = append(sqls, line)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return workload.New(sqls...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asqp:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,76 @@
+// Unknown-workload mode (Section 4.5): no query history exists, so the
+// system bootstraps from a statistics-generated workload, then refines the
+// approximation set as the user's real queries arrive, fine-tuning the RL
+// model each round.
+//
+//	go run ./examples/flights_unknown_workload
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"asqprl/internal/core"
+	"asqprl/internal/datagen"
+	"asqprl/internal/workload"
+)
+
+func main() {
+	db := datagen.Flights(0.2, 9)
+	fmt.Printf("FLIGHTS database: %d tuples, no workload available\n", db.TotalRows())
+
+	// The user's hidden interest: delayed long-haul flights. The system
+	// never sees this list — only the queries the user issues, in batches.
+	interest := workload.MustNew(
+		"SELECT * FROM flights WHERE dep_delay > 60 AND distance > 1500",
+		"SELECT carrier, origin, dep_delay FROM flights WHERE dep_delay > 90",
+		"SELECT * FROM flights WHERE arr_delay > 45 AND distance > 2000",
+		"SELECT * FROM flights WHERE dep_delay BETWEEN 60 AND 180 AND month = 7",
+		"SELECT carrier, dep_delay FROM flights WHERE dep_delay > 120",
+		"SELECT * FROM flights WHERE origin = 'ORD' AND dep_delay > 45",
+		"SELECT * FROM flights WHERE dest = 'SFO' AND arr_delay > 60",
+		"SELECT * FROM flights WHERE distance > 2500 AND dep_delay > 30",
+	)
+
+	// Bootstrap: generate a workload from table statistics alone.
+	gen, err := core.GenerateWorkload(db, core.GenOptions{N: 24, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d bootstrap queries from table statistics, e.g.:\n  %s\n",
+		len(gen), gen[0].SQL)
+
+	cfg := core.DefaultConfig()
+	cfg.K = 500
+	cfg.Episodes = 36
+	sys, err := core.Train(db, gen, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	score, _ := sys.ScoreOn(interest)
+	fmt.Printf("\niteration 0 (statistics only): score on user interest = %.3f\n", score)
+
+	// The user issues queries in batches of four; each batch fine-tunes the
+	// model together with freshly generated aligned queries.
+	for round := 0; round*4 < len(interest); round++ {
+		batch := interest[round*4 : min(round*4+4, len(interest))]
+		aligned, err := core.GenerateWorkload(db, core.GenOptions{N: 4, Seed: int64(round + 10)})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := sys.FineTune(workload.Merge(workload.Workload(batch), aligned), 16); err != nil {
+			log.Fatal(err)
+		}
+		score, _ = sys.ScoreOn(interest)
+		fmt.Printf("iteration %d (%d user queries seen): score on user interest = %.3f\n",
+			round+1, min((round+1)*4, len(interest)), score)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

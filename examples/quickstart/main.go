@@ -1,0 +1,71 @@
+// Quickstart: train an approximation set on a synthetic movie database and
+// answer exploratory queries against it.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"asqprl/internal/core"
+	"asqprl/internal/datagen"
+	"asqprl/internal/workload"
+)
+
+func main() {
+	// 1. A database: four IMDB-shaped tables, ~10k tuples at this scale.
+	db := datagen.IMDB(0.1, 1)
+	fmt.Printf("database: %d tuples across %v\n", db.TotalRows(), db.TableNames())
+
+	// 2. A query workload: what the analyst has been asking so far.
+	w := workload.MustNew(
+		"SELECT * FROM title WHERE genre = 'drama' AND production_year > 1990",
+		"SELECT title, rating FROM title WHERE rating >= 7.5 AND genre = 'drama'",
+		"SELECT t.title, c.role FROM title t JOIN cast_info c ON t.id = c.title_id WHERE c.role = 'director'",
+		"SELECT n.name, t.title FROM title t JOIN cast_info c ON t.id = c.title_id JOIN name n ON c.name_id = n.id WHERE t.genre = 'drama'",
+		"SELECT * FROM title WHERE votes > 1000 AND rating > 6",
+		"SELECT t.title, m.value FROM title t JOIN movie_info m ON t.id = m.title_id WHERE m.info_type = 'budget' AND m.value > 1000000",
+	)
+
+	// 3. Train: preprocessing + PPO actor-critic RL selects k tuples that
+	//    cover the workload's results (Equation 1 of the paper).
+	cfg := core.DefaultConfig()
+	cfg.K = 600 // memory budget: at most 600 tuples kept
+	cfg.F = 50  // frame size: how many rows a person reads
+	cfg.Episodes = 48
+	start := time.Now()
+	sys, err := core.Train(db, w, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained in %s; approximation set has %d tuples (%.1f%% of the data)\n",
+		time.Since(start).Round(time.Millisecond), sys.Set().Size(),
+		100*float64(sys.Set().Size())/float64(db.TotalRows()))
+
+	// 4. Quality: Equation-1 score of the set against the workload.
+	score, err := sys.ScoreOn(w)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("workload score: %.3f (1.0 = every query fully covered up to F rows)\n", score)
+
+	// 5. Query: similar queries are answered from the set in microseconds;
+	//    out-of-distribution queries fall back to the full database.
+	for _, q := range []string{
+		"SELECT title FROM title WHERE genre = 'drama' AND production_year > 1995",
+		"SELECT * FROM name WHERE gender = 'f' AND birth_year < 1950",
+	} {
+		res, err := sys.Query(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		source := "approximation set"
+		if !res.FromApproximation {
+			source = "full database"
+		}
+		fmt.Printf("\n> %s\n  %d rows from %s (predicted score %.2f)\n",
+			q, res.Table.NumRows(), source, res.PredictedScore)
+	}
+}

@@ -1,0 +1,3 @@
+module asqprl
+
+go 1.22

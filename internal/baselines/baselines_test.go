@@ -1,0 +1,254 @@
+package baselines
+
+import (
+	"testing"
+	"time"
+
+	"asqprl/internal/datagen"
+	"asqprl/internal/metrics"
+	"asqprl/internal/table"
+	"asqprl/internal/workload"
+)
+
+func testDB() *table.Database { return datagen.IMDB(0.02, 7) }
+
+func testWorkload() workload.Workload { return workload.IMDB(15, 11) }
+
+func opts() Options {
+	return Options{F: 25, Seed: 1, TimeBudget: 300 * time.Millisecond, PoolSize: 3000}
+}
+
+// TestAllBaselinesProduceValidSubsets runs every baseline end-to-end and
+// checks the contract: at most k rows, all referencing real tuples.
+func TestAllBaselinesProduceValidSubsets(t *testing.T) {
+	db := testDB()
+	w := testWorkload()
+	const k = 200
+	for _, b := range All() {
+		b := b
+		t.Run(b.Name(), func(t *testing.T) {
+			s, err := b.Build(db, w, k, opts())
+			if err != nil {
+				t.Fatalf("%s: %v", b.Name(), err)
+			}
+			if s.Size() == 0 {
+				t.Fatalf("%s: empty subset", b.Name())
+			}
+			if s.Size() > k {
+				t.Errorf("%s: size %d exceeds budget %d", b.Name(), s.Size(), k)
+			}
+			for _, id := range s.IDs() {
+				tab := db.Table(id.Table)
+				if tab == nil || id.Row < 0 || id.Row >= tab.NumRows() {
+					t.Fatalf("%s: invalid row %v", b.Name(), id)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkloadAwareBaselinesBeatRandom: baselines that exploit the workload
+// (TOP, GRE, VERD, CACH) should outscore pure random sampling on the
+// training workload.
+func TestWorkloadAwareBaselinesBeatRandom(t *testing.T) {
+	db := testDB()
+	w := testWorkload()
+	const k = 200
+	o := opts()
+
+	score := func(b Builder) float64 {
+		s, err := b.Build(db, w, k, o)
+		if err != nil {
+			t.Fatalf("%s: %v", b.Name(), err)
+		}
+		v, err := metrics.Score(db, s.Materialize(db), w, o.F)
+		if err != nil {
+			t.Fatalf("%s score: %v", b.Name(), err)
+		}
+		return v
+	}
+	random := score(Random{})
+	for _, b := range []Builder{TopQueried{}, Greedy{}, Verdict{}, Caching{}} {
+		if got := score(b); got <= random {
+			t.Errorf("%s score %.3f should beat RAN %.3f", b.Name(), got, random)
+		} else {
+			t.Logf("%s: %.3f vs RAN %.3f", b.Name(), got, random)
+		}
+	}
+}
+
+func TestGreedyRespectsTimeBudget(t *testing.T) {
+	db := testDB()
+	w := testWorkload()
+	o := opts()
+	o.TimeBudget = 1 * time.Millisecond
+	start := time.Now()
+	s, err := (Greedy{}).Build(db, w, 500, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Execution includes the workload run; the greedy loop itself must stop
+	// almost immediately.
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Errorf("greedy with 1ms budget took %v", elapsed)
+	}
+	_ = s // a tiny budget may legitimately give a tiny subset
+}
+
+func TestBruteForceImprovesWithTime(t *testing.T) {
+	db := testDB()
+	w := testWorkload()
+	o := opts()
+	o.TimeBudget = 20 * time.Millisecond
+	quick, err := (BruteForce{}).Build(db, w, 200, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o.TimeBudget = 400 * time.Millisecond
+	longer, err := (BruteForce{}).Build(db, w, 200, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sQuick, _ := metrics.Score(db, quick.Materialize(db), w, o.F)
+	sLonger, _ := metrics.Score(db, longer.Materialize(db), w, o.F)
+	if sLonger < sQuick-0.05 {
+		t.Errorf("more search time should not hurt much: %.3f -> %.3f", sQuick, sLonger)
+	}
+}
+
+func TestRandomEdgeCases(t *testing.T) {
+	db := testDB()
+	s, err := (Random{}).Build(db, nil, 0, opts())
+	if err != nil || s.Size() != 0 {
+		t.Errorf("k=0 should give empty subset: %v, %d", err, s.Size())
+	}
+	huge, err := (Random{}).Build(db, nil, db.TotalRows()+100, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if huge.Size() != db.TotalRows() {
+		t.Errorf("k > total should cap at %d, got %d", db.TotalRows(), huge.Size())
+	}
+	empty := table.NewDatabase()
+	s, err = (Random{}).Build(empty, nil, 10, opts())
+	if err != nil || s.Size() != 0 {
+		t.Error("empty db should give empty subset")
+	}
+}
+
+func TestQRDDiversityExceedsClusteredPick(t *testing.T) {
+	// QRD should cover all tables (diverse) rather than collapsing into one.
+	db := testDB()
+	s, err := (QRD{}).Build(db, nil, 200, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tables := map[string]bool{}
+	for _, id := range s.IDs() {
+		tables[id.Table] = true
+	}
+	if len(tables) < 3 {
+		t.Errorf("QRD covers only %d tables", len(tables))
+	}
+}
+
+func TestSkylinePrefersDominantRows(t *testing.T) {
+	// Construct a table where one row dominates everything.
+	tb := table.New("scores", table.Schema{
+		{Name: "a", Kind: table.KindInt},
+		{Name: "b", Kind: table.KindInt},
+	})
+	tb.AppendRow(table.Row{table.NewInt(100), table.NewInt(100)}) // dominator
+	for i := 0; i < 50; i++ {
+		tb.AppendRow(table.Row{table.NewInt(int64(i % 10)), table.NewInt(int64(i / 10))})
+	}
+	db := table.NewDatabase()
+	db.Add(tb)
+	o := opts()
+	o.PoolSize = 100
+	s, err := (Skyline{}).Build(db, nil, 1, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(table.RowID{Table: "scores", Row: 0}) {
+		t.Errorf("skyline should pick the dominating row, got %v", s.IDs())
+	}
+}
+
+func TestQuickRAllocationFollowsWorkloadReferences(t *testing.T) {
+	db := testDB()
+	// Workload referencing only the title table.
+	w := workload.MustNew(
+		"SELECT * FROM title WHERE genre = 'drama'",
+		"SELECT * FROM title WHERE rating > 7",
+	)
+	s, err := (QuickR{}).Build(db, w, 100, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, id := range s.IDs() {
+		if id.Table != "title" {
+			t.Fatalf("QUIK picked row from unreferenced table %q", id.Table)
+		}
+	}
+}
+
+func TestCachingKeepsRecentQueries(t *testing.T) {
+	db := testDB()
+	w := testWorkload()
+	s, err := (Caching{}).Build(db, w, 100, opts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The most recent query's rows should be preferentially present:
+	// score on the last query should be at least the score on the first.
+	last := workload.Workload{w[len(w)-1]}
+	first := workload.Workload{w[0]}
+	sd := s.Materialize(db)
+	sLast, _ := metrics.Score(db, sd, last, 25)
+	sFirst, _ := metrics.Score(db, sd, first, 25)
+	t.Logf("CACH: first=%.3f last=%.3f", sFirst, sLast)
+	if sLast == 0 && sFirst == 0 {
+		t.Error("cache retained nothing from the workload")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"RAN", "BRT", "GRE", "GRE+", "TOP", "CACH", "QRD", "SKY", "VERD", "QUIK"} {
+		b, err := ByName(name)
+		if err != nil || b.Name() != name {
+			t.Errorf("ByName(%s) = %v, %v", name, b, err)
+		}
+	}
+	if _, err := ByName("NOPE"); err == nil {
+		t.Error("unknown name should error")
+	}
+}
+
+func TestCoverageScoreAgainstMetrics(t *testing.T) {
+	// The incremental coverage score must agree with the executed metric
+	// when the subset is exactly a union of result tuples.
+	db := testDB()
+	w := testWorkload()
+	queries := runWorkload(db, w, 0) // no cap: exact tracking
+	cov := newCoverage(queries, 25)
+	s := table.NewSubset()
+	// Add the first 30 tuples of the first query.
+	added := 0
+	for _, rows := range queries[0].tuples {
+		cov.addGroup(rows)
+		s.AddAll(rows)
+		added++
+		if added >= 30 {
+			break
+		}
+	}
+	got := cov.score()
+	want, err := metrics.Score(db, s.Materialize(db), w, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := got - want; diff > 0.02 || diff < -0.02 {
+		t.Errorf("coverage score %.4f vs executed metric %.4f", got, want)
+	}
+}

@@ -1,0 +1,109 @@
+package baselines
+
+import (
+	"math/rand"
+	"time"
+
+	"asqprl/internal/engine"
+	"asqprl/internal/table"
+	"asqprl/internal/workload"
+)
+
+// GreedyExec implements GRE exactly as the paper describes it: "in each
+// iteration, take the row that achieves the largest marginal gain with
+// respect to the metric" — where the gain of a candidate row is measured by
+// actually re-evaluating the metric, i.e. executing the workload against the
+// enlarged subset. This is the variant that cannot finish within the paper's
+// 48-hour budget on their datasets; under this package's scaled-down time
+// budget it likewise returns a tiny partial set, reproducing the paper's
+// "N/A" / timeout rows. See Greedy ("GRE+") for the strengthened incremental
+// implementation.
+type GreedyExec struct{}
+
+// Name implements Builder.
+func (GreedyExec) Name() string { return "GRE" }
+
+// Build implements Builder.
+func (GreedyExec) Build(db *table.Database, train workload.Workload, k int, opts Options) (*table.Subset, error) {
+	opts = opts.normalize()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	deadline := time.Now().Add(opts.TimeBudget)
+
+	// Full-result sizes, computed once (charged against the budget, as the
+	// paper's metric evaluation would be).
+	fullCounts := make([]int, len(train))
+	for i, q := range train {
+		stmt := engine.RewriteAggregateToSPJ(q.Stmt)
+		n, err := engine.Count(db, stmt)
+		if err != nil {
+			n = 0
+		}
+		fullCounts[i] = n
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+
+	spans, total := spansOf(db)
+	s := table.NewSubset()
+	if total == 0 || k <= 0 {
+		return s, nil
+	}
+	// Candidate order is randomized once; each greedy iteration scans
+	// candidates until the deadline.
+	order := rng.Perm(total)
+
+	scoreOf := func(sub *table.Subset) float64 {
+		sdb := sub.Materialize(db)
+		var sc float64
+		for i, q := range train {
+			if fullCounts[i] == 0 {
+				sc += q.Weight
+				continue
+			}
+			stmt := engine.RewriteAggregateToSPJ(q.Stmt)
+			n, err := engine.Count(sdb, stmt)
+			if err != nil {
+				continue
+			}
+			need := opts.F
+			if fullCounts[i] < need {
+				need = fullCounts[i]
+			}
+			frac := float64(n) / float64(need)
+			if frac > 1 {
+				frac = 1
+			}
+			sc += q.Weight * frac
+		}
+		return sc
+	}
+
+	base := scoreOf(s)
+	for s.Size() < k && time.Now().Before(deadline) {
+		bestRow := table.RowID{Row: -1}
+		bestGain := 0.0
+		for _, g := range order {
+			if time.Now().After(deadline) {
+				break
+			}
+			id := globalToRowID(spans, g)
+			if s.Contains(id) {
+				continue
+			}
+			trial := s.Clone()
+			trial.Add(id)
+			gain := scoreOf(trial) - base
+			if gain > bestGain {
+				bestGain = gain
+				bestRow = id
+			}
+		}
+		if bestRow.Row < 0 {
+			break
+		}
+		s.Add(bestRow)
+		base += bestGain
+	}
+	return s, nil
+}

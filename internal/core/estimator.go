@@ -1,0 +1,136 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"asqprl/internal/embed"
+	"asqprl/internal/sqlparse"
+)
+
+// Estimator predicts, for an incoming query, the score the current
+// approximation set would achieve on it — without executing the query. It
+// implements the inference-time answerability check of Section 4.4: the
+// prediction combines the query's embedding-space proximity to the training
+// workload with the model's measured performance on those training queries.
+type Estimator struct {
+	emb       embed.Embedder
+	vecs      [][]float64 // training-query embeddings
+	scores    []float64   // achieved per-query scores on the built set
+	neighbors int
+	threshold float64
+}
+
+// NewEstimator builds an estimator from the training queries and their
+// measured per-query scores over the approximation set.
+func NewEstimator(emb embed.Embedder, stmts []*sqlparse.Select, scores []float64, neighbors int, threshold float64) *Estimator {
+	e := &Estimator{
+		emb:       emb,
+		scores:    append([]float64(nil), scores...),
+		neighbors: neighbors,
+		threshold: threshold,
+	}
+	for _, s := range stmts {
+		e.vecs = append(e.vecs, emb.Query(s))
+	}
+	return e
+}
+
+// Estimate returns the predicted score for stmt and a confidence in [0, 1].
+// The prediction is a similarity-weighted vote of the nearest training
+// queries; the confidence is the similarity to the closest one (low
+// confidence means the query deviates from the training workload, the signal
+// used for interest-drift detection).
+func (e *Estimator) Estimate(stmt *sqlparse.Select) (pred, confidence float64) {
+	if len(e.vecs) == 0 {
+		return 0, 0
+	}
+	// Aggregates are judged by their SPJ skeleton, as in Section 4.4.
+	v := e.emb.Query(stmt)
+	type neighbor struct {
+		sim   float64
+		score float64
+	}
+	ns := make([]neighbor, 0, len(e.vecs))
+	for i, tv := range e.vecs {
+		sim := embed.Cosine(v, tv)
+		if sim < 0 {
+			sim = 0
+		}
+		ns = append(ns, neighbor{sim: sim, score: e.scores[i]})
+	}
+	sort.Slice(ns, func(a, b int) bool { return ns[a].sim > ns[b].sim })
+	k := e.neighbors
+	if k > len(ns) {
+		k = len(ns)
+	}
+	var wsum, ssum float64
+	for _, n := range ns[:k] {
+		// Sharpen similarities so near-duplicates dominate the vote.
+		w := n.sim * n.sim * n.sim
+		wsum += w
+		ssum += w * n.score
+	}
+	confidence = ns[0].sim
+	if wsum <= 0 {
+		return 0, confidence
+	}
+	// Far queries should predict low regardless of neighbor quality:
+	// attenuate by the confidence itself.
+	return math.Min(1, ssum/wsum) * attenuation(confidence), confidence
+}
+
+// attenuation maps the nearest-neighbor similarity to a multiplier that
+// decays predictions for out-of-distribution queries.
+func attenuation(conf float64) float64 {
+	switch {
+	case conf >= 0.8:
+		return 1
+	case conf <= 0.2:
+		return conf
+	default:
+		// Linear ramp between (0.2, 0.2) and (0.8, 1.0).
+		return 0.2 + (conf-0.2)*(0.8/0.6)
+	}
+}
+
+// Answerable reports whether the predicted score clears the threshold.
+func (e *Estimator) Answerable(stmt *sqlparse.Select) bool {
+	pred, _ := e.Estimate(stmt)
+	return pred >= e.threshold
+}
+
+// Threshold returns the answerability threshold.
+func (e *Estimator) Threshold() float64 { return e.threshold }
+
+// DriftDetector accumulates queries that deviate from the training workload
+// and signals when fine-tuning should run (Section 4.4): after Count queries
+// whose deviation confidence exceeds Confidence.
+type DriftDetector struct {
+	// Confidence is the minimum deviation confidence (1 − similarity to the
+	// nearest training query) for a query to count as drifted.
+	Confidence float64
+	// Count is how many drifted queries trigger fine-tuning.
+	Count int
+
+	drifted []*sqlparse.Select
+}
+
+// Observe records a query along with the estimator confidence produced for
+// it. It returns true when enough drifted queries have accumulated that
+// fine-tuning should be triggered.
+func (d *DriftDetector) Observe(stmt *sqlparse.Select, similarityConfidence float64) bool {
+	deviation := 1 - similarityConfidence
+	if deviation >= d.Confidence {
+		d.drifted = append(d.drifted, stmt)
+	}
+	return len(d.drifted) >= d.Count
+}
+
+// Drifted returns the accumulated deviating queries.
+func (d *DriftDetector) Drifted() []*sqlparse.Select {
+	return append([]*sqlparse.Select(nil), d.drifted...)
+}
+
+// ResetDrift clears the accumulated queries (called after fine-tuning).
+func (d *DriftDetector) ResetDrift() { d.drifted = nil }

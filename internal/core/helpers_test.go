@@ -1,0 +1,16 @@
+package core
+
+import (
+	"asqprl/internal/embed"
+	"asqprl/internal/engine"
+	"asqprl/internal/table"
+	"asqprl/internal/workload"
+)
+
+// countRows executes a workload query and returns its result row count.
+func countRows(db *table.Database, q workload.Query) (int, error) {
+	return engine.Count(db, q.Stmt)
+}
+
+// embedderForTest returns the embedder used by estimator tests.
+func embedderForTest() embed.Embedder { return embed.Embedder{Dim: 64} }

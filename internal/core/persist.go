@@ -1,0 +1,167 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"asqprl/internal/embed"
+	"asqprl/internal/nn"
+	"asqprl/internal/rl"
+	"asqprl/internal/table"
+	"asqprl/internal/workload"
+)
+
+// snapshot is the serialized form of a trained System. The database itself
+// is not serialized — a snapshot is restored against the same (or a
+// compatible) database, mirroring how the paper's offline-trained model is
+// attached to the live database at exploration time.
+type snapshot struct {
+	Config       Config
+	TrainSQLs    []string
+	QueryWeights []float64
+	SetIDs       []table.RowID
+	Actor        []byte
+	Critic       []byte
+	EstScores    []float64
+	FineTunes    int
+}
+
+// Save serializes the trained system (configuration, training workload,
+// approximation set, actor/critic weights, estimator scores) to w. The
+// database is not included; pass the same database to Load.
+func (s *System) Save(w io.Writer) error {
+	actor, err := s.agent.ActorParams().Marshal()
+	if err != nil {
+		return fmt.Errorf("core: save actor: %w", err)
+	}
+	critic, err := s.agent.CriticParams().Marshal()
+	if err != nil {
+		return fmt.Errorf("core: save critic: %w", err)
+	}
+	snap := snapshot{
+		Config:    s.cfg,
+		SetIDs:    s.set.IDs(),
+		Actor:     actor,
+		Critic:    critic,
+		EstScores: s.est.scores,
+		FineTunes: s.stats.FineTunes,
+	}
+	for _, q := range s.train {
+		snap.TrainSQLs = append(snap.TrainSQLs, q.SQL)
+		snap.QueryWeights = append(snap.QueryWeights, q.Weight)
+	}
+	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	return nil
+}
+
+// SaveBytes serializes the system to a byte slice.
+func (s *System) SaveBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Load restores a system previously written by Save, attaching it to db.
+// The database must contain the tables (with at least as many rows) that the
+// approximation set references.
+func Load(db *table.Database, r io.Reader) (*System, error) {
+	var snap snapshot
+	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	if len(snap.TrainSQLs) == 0 {
+		return nil, fmt.Errorf("core: load: snapshot has no training workload")
+	}
+	w, err := workload.New(snap.TrainSQLs...)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	for i := range w {
+		if i < len(snap.QueryWeights) {
+			w[i].Weight = snap.QueryWeights[i]
+		}
+	}
+
+	cfg := snap.Config.normalize()
+	s := &System{cfg: cfg, db: db, train: w}
+
+	// Validate and restore the approximation set.
+	s.set = table.NewSubset()
+	for _, id := range snap.SetIDs {
+		t := db.Table(id.Table)
+		if t == nil || id.Row < 0 || id.Row >= t.NumRows() {
+			return nil, fmt.Errorf("core: load: set references %v, absent from this database", id)
+		}
+		s.set.Add(id)
+	}
+	s.setDB = s.set.Materialize(db)
+	s.stats.SetSize = s.set.Size()
+	s.stats.FineTunes = snap.FineTunes
+
+	// Restore networks into a fresh agent of the right shape.
+	stateDim, actions := envShape(cfg)
+	s.agent = restoreAgent(cfg, stateDim, actions, snap.Actor, snap.Critic)
+	if s.agent == nil {
+		return nil, fmt.Errorf("core: load: network shapes do not match configuration")
+	}
+
+	// Restore the estimator from the recorded per-query scores (or refit if
+	// the snapshot predates them).
+	emb := embed.Embedder{Dim: cfg.EmbedDim}
+	if len(snap.EstScores) == len(w) {
+		s.est = NewEstimator(emb, w.Statements(), snap.EstScores, cfg.EstimatorNeighbors, cfg.EstimatorThreshold)
+	} else {
+		s.fitEstimator()
+	}
+	s.drift = &DriftDetector{Confidence: cfg.DriftConfidence, Count: cfg.DriftCount}
+
+	// Preprocessing artifacts are not serialized; rebuild them lazily when
+	// fine-tuning is requested.
+	return s, nil
+}
+
+// LoadBytes restores a system from bytes produced by SaveBytes.
+func LoadBytes(db *table.Database, data []byte) (*System, error) {
+	return Load(db, bytes.NewReader(data))
+}
+
+// restoreAgent reconstructs an agent and overwrites its networks with the
+// serialized parameters; it returns nil on shape mismatch.
+func restoreAgent(cfg Config, stateDim, actions int, actorBytes, criticBytes []byte) *rl.Agent {
+	actor, err := nn.Unmarshal(actorBytes)
+	if err != nil {
+		return nil
+	}
+	critic, err := nn.Unmarshal(criticBytes)
+	if err != nil {
+		return nil
+	}
+	if actor.InputDim() != stateDim || actor.OutputDim() != actions ||
+		critic.InputDim() != stateDim || critic.OutputDim() != 1 {
+		return nil
+	}
+	agent := rl.NewAgent(cfg.RL, stateDim, actions)
+	agent.ActorParams().CopyFrom(actor)
+	agent.CriticParams().CopyFrom(critic)
+	return agent
+}
+
+// ensurePreprocessed rebuilds the preprocessing artifacts, which are not
+// serialized by Save and are needed again for BuildSet on a loaded system.
+func (s *System) ensurePreprocessed() error {
+	if s.pre != nil {
+		return nil
+	}
+	pre, err := Preprocess(s.db, s.train, s.cfg)
+	if err != nil {
+		return err
+	}
+	s.pre = pre
+	return nil
+}

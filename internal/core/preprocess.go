@@ -1,0 +1,363 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"asqprl/internal/cluster"
+	"asqprl/internal/embed"
+	"asqprl/internal/engine"
+	"asqprl/internal/relax"
+	"asqprl/internal/sample"
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+	"asqprl/internal/workload"
+)
+
+// ResultTuple is one tracked result row of a representative query: the set of
+// distinct base-table rows that must all be present in the approximation set
+// for the tuple to appear in the query's answer.
+type ResultTuple struct {
+	Rows []table.RowID
+}
+
+// RepQuery is one query representative after clustering (Section 4.2).
+type RepQuery struct {
+	// Stmt is the original (SPJ-rewritten) medoid statement; its results
+	// define the training reward.
+	Stmt *sqlparse.Select
+	// Relaxed is the relaxed variant executed to enlarge the action space.
+	Relaxed *sqlparse.Select
+	// Weight aggregates the workload weights of the cluster's members.
+	Weight float64
+	// Total is |q(𝒯)|: the full result size of the original representative.
+	Total int
+	// Tuples are the tracked result tuples (all of them when Total is small,
+	// a uniform sample capped at MaxTrackedPerQuery otherwise).
+	Tuples []ResultTuple
+	// RelaxedTotal and RelaxedTuples track the relaxed variant's results;
+	// covering them is rewarded at Config.RelaxRewardWeight, implementing
+	// the paper's training on generalized queries (challenge C4) without
+	// unanchoring the reward from the real workload.
+	RelaxedTotal  int
+	RelaxedTuples []ResultTuple
+}
+
+// Need returns min(F, Total), the number of result tuples worth covering.
+func (r *RepQuery) Need(frameSize int) int {
+	if r.Total < frameSize {
+		return r.Total
+	}
+	return frameSize
+}
+
+// Candidate is one action of the RL action space: a group of base rows
+// originating from one (or more coinciding) joined result rows.
+type Candidate struct {
+	Rows []table.RowID
+}
+
+// tupleRef addresses a tracked result tuple of a representative query.
+// relaxed marks tuples of the relaxed variant.
+type tupleRef struct {
+	q, t    int
+	relaxed bool
+}
+
+// Preprocessed is the output of the data and query pre-processing phase:
+// the inputs the RL environments train on.
+type Preprocessed struct {
+	DB         *table.Database
+	Reps       []RepQuery
+	Candidates []Candidate
+	// RowToTuples indexes, for every base row appearing in a tracked tuple,
+	// the tuples that require it.
+	RowToTuples map[table.RowID][]tupleRef
+	// Aggregate workload statistics for reporting.
+	ExecutedQueries int
+	TotalCandidates int // before subsampling
+}
+
+// Preprocess runs the full pipeline of Figure 1(a): relaxation, query
+// embedding, representative selection, execution, variational subsampling,
+// and action-space construction. Aggregate queries in the workload are
+// rewritten to SPJ form first (Section 3).
+func Preprocess(db *table.Database, w workload.Workload, cfg Config) (*Preprocessed, error) {
+	cfg = cfg.normalize()
+	if len(w) == 0 {
+		return nil, fmt.Errorf("core: empty workload (use GenerateWorkload for the no-workload mode)")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	emb := embed.Embedder{Dim: cfg.EmbedDim}
+
+	// 1. Rewrite aggregates to SPJ and relax (lines 1-2 of Algorithm 1).
+	originals := make([]*sqlparse.Select, len(w))
+	relaxed := make([]*sqlparse.Select, len(w))
+	vecs := make([][]float64, len(w))
+	for i, q := range w {
+		spj := engine.RewriteAggregateToSPJ(q.Stmt)
+		spj.Limit = -1 // cover full results, not a page
+		originals[i] = spj
+		relaxed[i] = relax.Relax(spj, relax.Options{Factor: cfg.RelaxFactor, DropConjunct: cfg.RelaxDrop})
+		vecs[i] = emb.Query(relaxed[i])
+	}
+
+	// 2. Representative selection by clustering the embedded queries.
+	numReps := cfg.NumRepresentatives
+	if numReps > len(w) {
+		numReps = len(w)
+	}
+	executed := int(float64(numReps) * cfg.TrainFraction)
+	if executed < 1 {
+		executed = 1
+	}
+	assign := cluster.KMeans(vecs, numReps, 30, rng)
+	medoids := medoidsOf(vecs, assign)
+
+	// Cluster weights: sum of member weights.
+	clusterWeight := make([]float64, len(medoids))
+	for i := range w {
+		ci := assign.Assignments[i]
+		if ci < len(clusterWeight) {
+			clusterWeight[ci] += w[i].Weight
+		}
+	}
+	// Order representatives by weight and keep the executed fraction
+	// (ASQP-Light / Figure 10: the most important queries run first).
+	order := make([]int, len(medoids))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return clusterWeight[order[a]] > clusterWeight[order[b]] })
+	if executed < len(order) {
+		order = order[:executed]
+	}
+
+	pre := &Preprocessed{
+		DB:          db,
+		RowToTuples: make(map[table.RowID][]tupleRef),
+	}
+
+	// 3. Execute representatives with lineage. The original medoid query's
+	// result tuples define the reward (what the approximation set must
+	// cover); the relaxed query's result tuples enlarge the candidate
+	// action space beyond the known workload (challenge C4).
+	type candInfo struct {
+		rows []table.RowID
+		key  string
+		sig  []int // representative indices that reference it
+	}
+	candByKey := map[string]*candInfo{}
+	var candOrder []string
+	addCandidate := func(rows []table.RowID, qIdx int) *candInfo {
+		key := rowsKey(rows)
+		info := candByKey[key]
+		if info == nil {
+			info = &candInfo{rows: rows, key: key}
+			candByKey[key] = info
+			candOrder = append(candOrder, key)
+		}
+		info.sig = append(info.sig, qIdx)
+		return info
+	}
+
+	for _, ci := range order {
+		orig := originals[medoids[ci]]
+		res, err := engine.ExecuteWith(db, orig, engine.Options{TrackLineage: true})
+		if err != nil {
+			return nil, fmt.Errorf("core: executing representative %q: %w", orig, err)
+		}
+		rep := RepQuery{
+			Stmt:    orig,
+			Relaxed: relaxed[medoids[ci]],
+			Weight:  clusterWeight[ci],
+			Total:   res.Table.NumRows(),
+		}
+		qIdx := len(pre.Reps)
+
+		// Deduplicate lineage row-sets, then sample down to the cap.
+		lineages := dedupeLineages(res.Lineage)
+		tracked := lineages
+		if len(lineages) > cfg.MaxTrackedPerQuery {
+			idx := sample.Uniform(len(lineages), cfg.MaxTrackedPerQuery, rng)
+			tracked = make([][]table.RowID, len(idx))
+			for i, j := range idx {
+				tracked[i] = lineages[j]
+			}
+		}
+		for _, rows := range tracked {
+			tIdx := len(rep.Tuples)
+			rep.Tuples = append(rep.Tuples, ResultTuple{Rows: rows})
+			for _, id := range rows {
+				pre.RowToTuples[id] = append(pre.RowToTuples[id], tupleRef{q: qIdx, t: tIdx})
+			}
+		}
+		// Bundle the representative's result tuples into group actions.
+		for _, group := range chunkRowSets(tracked, cfg.ActionGroupSize, rng) {
+			addCandidate(group, qIdx)
+		}
+
+		// Relaxed execution: extra candidates and weakly-rewarded tracked
+		// tuples (generalization beyond the workload). Cap the lineage to
+		// keep preprocessing bounded.
+		relRes, err := engine.ExecuteWith(db, rep.Relaxed, engine.Options{TrackLineage: true})
+		if err == nil {
+			rep.RelaxedTotal = relRes.Table.NumRows()
+			relLineages := dedupeLineages(relRes.Lineage)
+			if len(relLineages) > cfg.MaxTrackedPerQuery {
+				idx := sample.Uniform(len(relLineages), cfg.MaxTrackedPerQuery, rng)
+				sampled := make([][]table.RowID, len(idx))
+				for i, j := range idx {
+					sampled[i] = relLineages[j]
+				}
+				relLineages = sampled
+			}
+			for _, rows := range relLineages {
+				tIdx := len(rep.RelaxedTuples)
+				rep.RelaxedTuples = append(rep.RelaxedTuples, ResultTuple{Rows: rows})
+				for _, id := range rows {
+					pre.RowToTuples[id] = append(pre.RowToTuples[id], tupleRef{q: qIdx, t: tIdx, relaxed: true})
+				}
+			}
+			for _, group := range chunkRowSets(relLineages, cfg.ActionGroupSize, rng) {
+				addCandidate(group, qIdx)
+			}
+		}
+		pre.Reps = append(pre.Reps, rep)
+		pre.ExecutedQueries++
+	}
+
+	// Normalize representative weights.
+	var wTotal float64
+	for i := range pre.Reps {
+		wTotal += pre.Reps[i].Weight
+	}
+	if wTotal > 0 {
+		for i := range pre.Reps {
+			pre.Reps[i].Weight /= wTotal
+		}
+	}
+
+	// 4. Variational subsampling of the candidate space (Section 4.2): the
+	// stratification signature is the set of representatives referencing the
+	// candidate, so candidates serving rare queries survive.
+	pre.TotalCandidates = len(candOrder)
+	sigs := make([]string, len(candOrder))
+	for i, key := range candOrder {
+		sig := candByKey[key].sig
+		parts := make([]string, len(sig))
+		for j, q := range sig {
+			parts[j] = strconv.Itoa(q)
+		}
+		sigs[i] = strings.Join(parts, ",")
+	}
+	keep := sample.Variational(sigs, cfg.ActionSpaceSize, rng)
+	for _, i := range keep {
+		pre.Candidates = append(pre.Candidates, Candidate{Rows: candByKey[candOrder[i]].rows})
+	}
+	if len(pre.Candidates) == 0 {
+		return nil, fmt.Errorf("core: preprocessing produced no candidate actions (all representative queries returned empty results)")
+	}
+	return pre, nil
+}
+
+// medoidsOf picks, per cluster, the member closest to the centroid.
+func medoidsOf(vecs [][]float64, res cluster.Result) []int {
+	medoids := make([]int, 0, len(res.Centroids))
+	for ci := range res.Centroids {
+		best, bestD := -1, -1.0
+		for i, v := range vecs {
+			if res.Assignments[i] != ci {
+				continue
+			}
+			d := 0.0
+			for j := range v {
+				diff := v[j] - res.Centroids[ci][j]
+				d += diff * diff
+			}
+			if best < 0 || d < bestD {
+				best, bestD = i, d
+			}
+		}
+		if best >= 0 {
+			medoids = append(medoids, best)
+		} else {
+			medoids = append(medoids, 0)
+		}
+	}
+	return medoids
+}
+
+// chunkRowSets bundles result-tuple row-sets into groups of up to groupSize
+// tuples, unioning their rows. The input order is shuffled so each group
+// mixes tuples from across the result rather than consecutive runs.
+func chunkRowSets(rowSets [][]table.RowID, groupSize int, rng *rand.Rand) [][]table.RowID {
+	if groupSize <= 1 {
+		return rowSets
+	}
+	idx := rng.Perm(len(rowSets))
+	var out [][]table.RowID
+	for start := 0; start < len(idx); start += groupSize {
+		end := start + groupSize
+		if end > len(idx) {
+			end = len(idx)
+		}
+		var union []table.RowID
+		for _, i := range idx[start:end] {
+			union = append(union, rowSets[i]...)
+		}
+		out = append(out, normalizeRows(union))
+	}
+	return out
+}
+
+// dedupeLineages removes duplicate row-sets and normalizes each set (sorted,
+// distinct rows).
+func dedupeLineages(lineage [][]table.RowID) [][]table.RowID {
+	seen := map[string]bool{}
+	var out [][]table.RowID
+	for _, rows := range lineage {
+		norm := normalizeRows(rows)
+		key := rowsKey(norm)
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		out = append(out, norm)
+	}
+	return out
+}
+
+// normalizeRows sorts and dedupes a row-set.
+func normalizeRows(rows []table.RowID) []table.RowID {
+	cp := append([]table.RowID(nil), rows...)
+	sort.Slice(cp, func(a, b int) bool {
+		if cp[a].Table != cp[b].Table {
+			return cp[a].Table < cp[b].Table
+		}
+		return cp[a].Row < cp[b].Row
+	})
+	out := cp[:0]
+	for i, r := range cp {
+		if i > 0 && r == cp[i-1] {
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// rowsKey builds a canonical key for a normalized row-set.
+func rowsKey(rows []table.RowID) string {
+	var b strings.Builder
+	for _, r := range rows {
+		b.WriteString(r.Table)
+		b.WriteByte(':')
+		b.WriteString(strconv.Itoa(r.Row))
+		b.WriteByte('|')
+	}
+	return b.String()
+}

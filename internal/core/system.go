@@ -1,0 +1,282 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"asqprl/internal/embed"
+	"asqprl/internal/engine"
+	"asqprl/internal/metrics"
+	"asqprl/internal/rl"
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+	"asqprl/internal/workload"
+)
+
+// Stats reports what a training run did and how long it took.
+type Stats struct {
+	SetupTime       time.Duration
+	PreprocessTime  time.Duration
+	TrainTime       time.Duration
+	RL              rl.TrainStats
+	Representatives int
+	Candidates      int
+	SetSize         int
+	FineTunes       int
+}
+
+// System is a trained ASQP-RL instance: it owns the approximation set, the
+// trained agent, and the inference-time estimator, and it answers queries by
+// routing them to the approximation set or the full database.
+type System struct {
+	cfg   Config
+	db    *table.Database
+	train workload.Workload
+	pre   *Preprocessed
+	agent *rl.Agent
+	set   *table.Subset
+	setDB *table.Database
+	est   *Estimator
+	drift *DriftDetector
+	stats Stats
+}
+
+// Train runs the full ASQP-RL pipeline of Algorithm 1 — preprocessing, RL
+// training, set construction (Algorithm 2), and estimator fitting — and
+// returns a queryable System.
+func Train(db *table.Database, w workload.Workload, cfg Config) (*System, error) {
+	cfg = cfg.normalize()
+	start := time.Now()
+
+	pre, err := Preprocess(db, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	preDone := time.Now()
+
+	s := &System{cfg: cfg, db: db, train: w, pre: pre}
+	stateDim, actions := envShape(cfg)
+	s.agent = rl.NewAgent(cfg.RL, stateDim, actions)
+	s.trainAgent()
+	s.stats.TrainTime = time.Since(preDone)
+
+	if err := s.rebuildSet(0); err != nil {
+		return nil, err
+	}
+	s.fitEstimator()
+	s.drift = &DriftDetector{Confidence: cfg.DriftConfidence, Count: cfg.DriftCount}
+
+	s.stats.PreprocessTime = preDone.Sub(start)
+	s.stats.SetupTime = time.Since(start)
+	s.stats.Representatives = len(pre.Reps)
+	s.stats.Candidates = len(pre.Candidates)
+	return s, nil
+}
+
+// trainAgent runs RL training with optional early stopping on return
+// plateau (ASQP-Light).
+func (s *System) trainAgent() {
+	env := NewEnvironment(s.pre, s.cfg, 0)
+	best := math.Inf(-1)
+	sinceBest := 0
+	progress := func(iter, episodes int, meanReturn float64) bool {
+		if s.cfg.EarlyStopPatience <= 0 {
+			return true
+		}
+		if meanReturn > best+1e-6 {
+			best = meanReturn
+			sinceBest = 0
+			return true
+		}
+		sinceBest++
+		return sinceBest < s.cfg.EarlyStopPatience
+	}
+	s.stats.RL = s.agent.Train(env, s.cfg.Episodes, progress)
+}
+
+// rebuildSet runs Algorithm 2: rollouts of the learned policy until the
+// requested size is reached. Following the algorithm's "action sampled based
+// on p(a|s,θ)", it performs one deterministic (argmax) rollout plus several
+// stochastic ones and keeps the best-scoring set. reqSize <= 0 uses cfg.K.
+func (s *System) rebuildSet(reqSize int) error {
+	const stochasticRollouts = 7
+	rng := rand.New(rand.NewSource(s.cfg.Seed + 31337))
+
+	var bestSet *table.Subset
+	best := math.Inf(-1)
+	try := func(greedy bool, rolloutRng *rand.Rand) {
+		env := NewEnvironment(s.pre, s.cfg, reqSize)
+		state, mask := env.Reset()
+		for {
+			action := s.agent.SelectAction(state, mask, greedy, rolloutRng)
+			if action < 0 {
+				break
+			}
+			next, nextMask, _, done := env.Step(action)
+			state, mask = next, nextMask
+			if done {
+				break
+			}
+		}
+		if score := env.Score(); score > best {
+			best = score
+			bestSet = env.Subset()
+		}
+	}
+	try(true, nil)
+	for i := 0; i < stochasticRollouts; i++ {
+		try(false, rng)
+	}
+
+	s.set = bestSet
+	s.setDB = s.set.Materialize(s.db)
+	s.stats.SetSize = s.set.Size()
+	return nil
+}
+
+// fitEstimator measures per-query scores of the training workload on the
+// built set and fits the answerability estimator on them.
+func (s *System) fitEstimator() {
+	emb := embed.Embedder{Dim: s.cfg.EmbedDim}
+	scores, _ := metrics.PerQueryScores(s.db, s.setDB, s.train, s.cfg.F)
+	s.est = NewEstimator(emb, s.train.Statements(), scores, s.cfg.EstimatorNeighbors, s.cfg.EstimatorThreshold)
+}
+
+// Set returns the approximation set (row references into the full database).
+func (s *System) Set() *table.Subset { return s.set }
+
+// SetDB returns the materialized approximation set as a database.
+func (s *System) SetDB() *table.Database { return s.setDB }
+
+// Config returns the system's normalized configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Stats returns training statistics.
+func (s *System) Stats() Stats { return s.stats }
+
+// Estimator exposes the answerability estimator.
+func (s *System) Estimator() *Estimator { return s.est }
+
+// BuildSet re-runs inference (Algorithm 2) for a different requested size
+// without retraining, replacing the system's approximation set.
+func (s *System) BuildSet(reqSize int) (*table.Subset, error) {
+	if err := s.ensurePreprocessed(); err != nil {
+		return nil, err
+	}
+	if err := s.rebuildSet(reqSize); err != nil {
+		return nil, err
+	}
+	s.fitEstimator()
+	return s.set, nil
+}
+
+// QueryResult is the outcome of answering one user query.
+type QueryResult struct {
+	// Table holds the result rows.
+	Table *table.Table
+	// FromApproximation is true when the approximation set answered the
+	// query; false when the system fell back to the full database.
+	FromApproximation bool
+	// PredictedScore is the estimator's score prediction for the query.
+	PredictedScore float64
+	// Confidence is the estimator's similarity confidence.
+	Confidence float64
+	// DriftTriggered is true when this query tipped the drift detector over
+	// its threshold; callers should fine-tune (see FineTuneFromDrift).
+	DriftTriggered bool
+}
+
+// Query answers sql following the inference flow of Figure 1(b): the
+// estimator predicts whether the approximation set can answer it; if so, the
+// query runs on the approximation set, otherwise on the full database.
+func (s *System) Query(sql string) (*QueryResult, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return s.QueryStmt(stmt)
+}
+
+// QueryStmt is Query over a parsed statement.
+func (s *System) QueryStmt(stmt *sqlparse.Select) (*QueryResult, error) {
+	// Aggregates are estimated through their SPJ rewrite (Section 4.4).
+	estStmt := stmt
+	if stmt.HasAggregates() {
+		estStmt = engine.RewriteAggregateToSPJ(stmt)
+	}
+	pred, conf := s.est.Estimate(estStmt)
+	out := &QueryResult{PredictedScore: pred, Confidence: conf}
+	out.DriftTriggered = s.drift.Observe(estStmt, conf)
+
+	target := s.setDB
+	if pred < s.cfg.EstimatorThreshold {
+		target = s.db
+	} else {
+		out.FromApproximation = true
+	}
+	res, err := engine.ExecuteWith(target, stmt, engine.Options{})
+	if err != nil {
+		return nil, err
+	}
+	out.Table = res.Table
+	return out, nil
+}
+
+// QueryApprox always answers from the approximation set, regardless of the
+// estimator (used by experiments that measure raw set quality).
+func (s *System) QueryApprox(stmt *sqlparse.Select) (*table.Table, error) {
+	res, err := engine.ExecuteWith(s.setDB, stmt, engine.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Table, nil
+}
+
+// ScoreOn evaluates the approximation set against a workload using
+// Equation 1 with the system's frame size.
+func (s *System) ScoreOn(w workload.Workload) (float64, error) {
+	return metrics.Score(s.db, s.setDB, w, s.cfg.F)
+}
+
+// FineTune merges new queries into the training workload, re-runs
+// preprocessing, and continues training the existing agent for extraEpisodes
+// (the network shapes are fixed by the config, so the learned weights carry
+// over). The approximation set and estimator are rebuilt.
+func (s *System) FineTune(newQueries workload.Workload, extraEpisodes int) error {
+	if len(newQueries) == 0 {
+		return fmt.Errorf("core: FineTune requires at least one query")
+	}
+	s.train = workload.Merge(s.train, newQueries)
+	pre, err := Preprocess(s.db, s.train, s.cfg)
+	if err != nil {
+		return err
+	}
+	s.pre = pre
+	if extraEpisodes <= 0 {
+		extraEpisodes = s.cfg.Episodes / 2
+	}
+	env := NewEnvironment(s.pre, s.cfg, 0)
+	s.stats.RL = s.agent.Train(env, extraEpisodes, nil)
+	s.stats.FineTunes++
+	if err := s.rebuildSet(0); err != nil {
+		return err
+	}
+	s.fitEstimator()
+	s.drift.ResetDrift()
+	return nil
+}
+
+// FineTuneFromDrift fine-tunes on the drift detector's accumulated queries.
+// It is a no-op returning false when no drift has been detected.
+func (s *System) FineTuneFromDrift(extraEpisodes int) (bool, error) {
+	drifted := s.drift.Drifted()
+	if len(drifted) < s.drift.Count {
+		return false, nil
+	}
+	if err := s.FineTune(workload.FromStatements(drifted), extraEpisodes); err != nil {
+		return false, err
+	}
+	return true, nil
+}

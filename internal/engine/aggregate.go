@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"fmt"
+	"strings"
+
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+)
+
+// aggState accumulates one aggregate function over a group.
+type aggState struct {
+	call  *sqlparse.Call
+	count int64
+	sum   float64
+	min   table.Value
+	max   table.Value
+	seen  bool
+}
+
+func (a *aggState) add(b *binder, jr joinedRow) error {
+	if a.call.Star {
+		a.count++
+		return nil
+	}
+	v, err := evalExpr(a.call.Arg, evalEnv{b: b, row: jr})
+	if err != nil {
+		return err
+	}
+	if v.IsNull() {
+		return nil
+	}
+	a.count++
+	a.sum += v.AsFloat()
+	if !a.seen || v.Compare(a.min) < 0 {
+		a.min = v
+	}
+	if !a.seen || v.Compare(a.max) > 0 {
+		a.max = v
+	}
+	a.seen = true
+	return nil
+}
+
+func (a *aggState) value() table.Value {
+	switch a.call.Name {
+	case "COUNT":
+		return table.NewInt(a.count)
+	case "SUM":
+		if a.count == 0 {
+			return table.Null
+		}
+		return table.NewFloat(a.sum)
+	case "AVG":
+		if a.count == 0 {
+			return table.Null
+		}
+		return table.NewFloat(a.sum / float64(a.count))
+	case "MIN":
+		if !a.seen {
+			return table.Null
+		}
+		return a.min
+	case "MAX":
+		if !a.seen {
+			return table.Null
+		}
+		return a.max
+	default:
+		return table.Null
+	}
+}
+
+// group holds the accumulators and a representative joined row for one
+// grouping key.
+type group struct {
+	rep  joinedRow
+	aggs []*aggState
+}
+
+// aggregate executes the grouping/aggregation path of a SELECT.
+func aggregate(b *binder, stmt *sqlparse.Select, joined []joinedRow) (*table.Table, error) {
+	if stmt.Star {
+		return nil, fmt.Errorf("engine: SELECT * cannot be combined with aggregates")
+	}
+
+	// Collect every aggregate call appearing in the SELECT list and HAVING.
+	var calls []*sqlparse.Call
+	callIndex := map[*sqlparse.Call]int{}
+	collect := func(e sqlparse.Expr) {
+		sqlparse.Walk(e, func(n sqlparse.Expr) {
+			if c, ok := n.(*sqlparse.Call); ok {
+				if _, dup := callIndex[c]; !dup {
+					callIndex[c] = len(calls)
+					calls = append(calls, c)
+				}
+			}
+		})
+	}
+	for _, it := range stmt.Items {
+		collect(it.Expr)
+	}
+	collect(stmt.Having)
+
+	// Group rows by the GROUP BY key.
+	groups := map[string]*group{}
+	var order []string
+	for _, jr := range joined {
+		var kb strings.Builder
+		for _, g := range stmt.GroupBy {
+			v, err := evalExpr(g, evalEnv{b: b, row: jr})
+			if err != nil {
+				return nil, err
+			}
+			kb.WriteString(v.Key())
+			kb.WriteByte(0x1e)
+		}
+		key := kb.String()
+		gr := groups[key]
+		if gr == nil {
+			gr = &group{rep: jr, aggs: make([]*aggState, len(calls))}
+			for i, c := range calls {
+				gr.aggs[i] = &aggState{call: c}
+			}
+			groups[key] = gr
+			order = append(order, key)
+		}
+		for _, a := range gr.aggs {
+			if err := a.add(b, jr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Global aggregation over an empty input still yields one row
+	// (COUNT(*) = 0 and friends).
+	if len(stmt.GroupBy) == 0 && len(groups) == 0 {
+		gr := &group{rep: nil, aggs: make([]*aggState, len(calls))}
+		for i, c := range calls {
+			gr.aggs[i] = &aggState{call: c}
+		}
+		groups[""] = gr
+		order = append(order, "")
+	}
+
+	// Output schema.
+	schema := make(table.Schema, len(stmt.Items))
+	for i, it := range stmt.Items {
+		name := it.Alias
+		if name == "" {
+			name = it.Expr.String()
+		}
+		schema[i] = table.Column{Name: name, Kind: inferKind(b, it.Expr)}
+	}
+	out := table.New("result", schema)
+
+	for _, key := range order {
+		gr := groups[key]
+		if stmt.Having != nil {
+			v, err := evalAggExpr(b, stmt.Having, gr, callIndex)
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !truthy(v) {
+				continue
+			}
+		}
+		row := make(table.Row, len(stmt.Items))
+		for i, it := range stmt.Items {
+			v, err := evalAggExpr(b, it.Expr, gr, callIndex)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		out.AppendRow(row)
+	}
+	return out, nil
+}
+
+// evalAggExpr evaluates an expression in grouped context: aggregate calls
+// resolve to their accumulated value, other sub-expressions evaluate against
+// the group's representative row (valid for GROUP BY keys, which are
+// constant within a group).
+func evalAggExpr(b *binder, e sqlparse.Expr, gr *group, callIndex map[*sqlparse.Call]int) (table.Value, error) {
+	switch x := e.(type) {
+	case *sqlparse.Call:
+		idx, ok := callIndex[x]
+		if !ok {
+			return table.Null, fmt.Errorf("engine: internal: unregistered aggregate %s", x)
+		}
+		return gr.aggs[idx].value(), nil
+	case *sqlparse.Binary:
+		l, err := evalAggExpr(b, x.Left, gr, callIndex)
+		if err != nil {
+			return table.Null, err
+		}
+		r, err := evalAggExpr(b, x.Right, gr, callIndex)
+		if err != nil {
+			return table.Null, err
+		}
+		lit := &sqlparse.Binary{Op: x.Op, Left: &sqlparse.Literal{Value: l}, Right: &sqlparse.Literal{Value: r}}
+		return evalExpr(lit, evalEnv{b: b})
+	case *sqlparse.Unary:
+		v, err := evalAggExpr(b, x.X, gr, callIndex)
+		if err != nil {
+			return table.Null, err
+		}
+		lit := &sqlparse.Unary{Op: x.Op, X: &sqlparse.Literal{Value: v}}
+		return evalExpr(lit, evalEnv{b: b})
+	default:
+		if gr.rep == nil {
+			// Empty global group: non-aggregate expressions are NULL.
+			if _, ok := e.(*sqlparse.Literal); ok {
+				return evalExpr(e, evalEnv{b: b})
+			}
+			return table.Null, nil
+		}
+		return evalExpr(e, evalEnv{b: b, row: gr.rep})
+	}
+}
+
+// RewriteAggregateToSPJ strips aggregation from a query, following Section 3
+// of the paper: aggregate and GROUP BY operators are removed, leaving a
+// select-project-join query over the same tables and predicates. The SELECT
+// list becomes the GROUP BY columns plus each aggregate's argument column;
+// queries that end up with no projectable expression become SELECT *.
+func RewriteAggregateToSPJ(stmt *sqlparse.Select) *sqlparse.Select {
+	if !stmt.HasAggregates() {
+		return stmt.Clone()
+	}
+	out := stmt.Clone()
+	var items []sqlparse.SelectItem
+	seen := map[string]bool{}
+	addExpr := func(e sqlparse.Expr) {
+		key := e.String()
+		if seen[key] {
+			return
+		}
+		seen[key] = true
+		items = append(items, sqlparse.SelectItem{Expr: e})
+	}
+	for _, g := range out.GroupBy {
+		addExpr(g)
+	}
+	for _, it := range out.Items {
+		sqlparse.Walk(it.Expr, func(n sqlparse.Expr) {
+			if c, ok := n.(*sqlparse.Call); ok && c.Arg != nil {
+				addExpr(c.Arg.CloneExpr())
+			}
+		})
+		if _, isCall := it.Expr.(*sqlparse.Call); !isCall {
+			hasAgg := false
+			sqlparse.Walk(it.Expr, func(n sqlparse.Expr) {
+				if _, ok := n.(*sqlparse.Call); ok {
+					hasAgg = true
+				}
+			})
+			if !hasAgg {
+				addExpr(it.Expr)
+			}
+		}
+	}
+	out.GroupBy = nil
+	out.Having = nil
+	out.OrderBy = nil
+	out.Distinct = false
+	out.Limit = -1 // a LIMIT on groups does not translate to a row limit
+	if len(items) == 0 {
+		out.Star = true
+		out.Items = nil
+	} else {
+		out.Star = false
+		out.Items = items
+	}
+	return out
+}

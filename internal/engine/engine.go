@@ -1,0 +1,584 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+)
+
+// Result is the output of executing a statement.
+type Result struct {
+	// Table holds the projected output rows.
+	Table *table.Table
+	// Lineage, when tracked, holds for each output row the base-table rows
+	// that produced it (one RowID per relation in the FROM/JOIN list).
+	// It is nil for aggregate queries.
+	Lineage [][]table.RowID
+}
+
+// Options tunes execution.
+type Options struct {
+	// MaxIntermediateRows bounds the size of join intermediates; execution
+	// fails with an error when exceeded. Zero means the default (2,000,000).
+	MaxIntermediateRows int
+	// TrackLineage enables per-row lineage for SPJ queries.
+	TrackLineage bool
+}
+
+const defaultMaxIntermediate = 2_000_000
+
+// Execute runs stmt against db with lineage tracking enabled.
+func Execute(db *table.Database, stmt *sqlparse.Select) (*Result, error) {
+	return ExecuteWith(db, stmt, Options{TrackLineage: true})
+}
+
+// ExecuteSQL parses and executes a SQL string.
+func ExecuteSQL(db *table.Database, sql string) (*Result, error) {
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	return Execute(db, stmt)
+}
+
+// Count executes stmt and returns only the number of result rows. Lineage
+// tracking is disabled for speed.
+func Count(db *table.Database, stmt *sqlparse.Select) (int, error) {
+	res, err := ExecuteWith(db, stmt, Options{})
+	if err != nil {
+		return 0, err
+	}
+	return res.Table.NumRows(), nil
+}
+
+// predClass classifies a WHERE/ON conjunct.
+type predClass struct {
+	expr sqlparse.Expr
+	rels []int // sorted relation indices referenced
+	// equi-join fields, valid when isEquiJoin:
+	isEquiJoin bool
+	leftBind   binding
+	rightBind  binding
+}
+
+// ExecuteWith runs stmt against db with explicit options.
+func ExecuteWith(db *table.Database, stmt *sqlparse.Select, opts Options) (*Result, error) {
+	if opts.MaxIntermediateRows <= 0 {
+		opts.MaxIntermediateRows = defaultMaxIntermediate
+	}
+	b, err := newBinder(db, stmt)
+	if err != nil {
+		return nil, err
+	}
+	// Bind every expression up front so resolution errors surface before
+	// execution starts.
+	for _, it := range stmt.Items {
+		if err := b.bindExpr(it.Expr); err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range stmt.Joins {
+		if err := b.bindExpr(j.On); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.bindExpr(stmt.Where); err != nil {
+		return nil, err
+	}
+	for _, g := range stmt.GroupBy {
+		if err := b.bindExpr(g); err != nil {
+			return nil, err
+		}
+	}
+	if err := b.bindExpr(stmt.Having); err != nil {
+		return nil, err
+	}
+	// ORDER BY expressions are not pre-bound: they may reference output
+	// aliases rather than base columns, and orderKey resolves them lazily.
+
+	preds, err := classify(b, stmt)
+	if err != nil {
+		return nil, err
+	}
+	joined, err := runJoins(b, preds, opts)
+	if err != nil {
+		return nil, err
+	}
+
+	if stmt.HasAggregates() {
+		out, err := aggregate(b, stmt, joined)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Table: out}
+		return finish(b, stmt, res, nil, true)
+	}
+
+	out, lineage, err := project(b, stmt, joined, opts.TrackLineage)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Table: out, Lineage: lineage}
+	return finish(b, stmt, res, joined, false)
+}
+
+// classify splits WHERE and ON into per-relation filters, equi-joins and
+// residual predicates.
+func classify(b *binder, stmt *sqlparse.Select) ([]predClass, error) {
+	var conjuncts []sqlparse.Expr
+	conjuncts = append(conjuncts, sqlparse.Conjuncts(stmt.Where)...)
+	for _, j := range stmt.Joins {
+		conjuncts = append(conjuncts, sqlparse.Conjuncts(j.On)...)
+	}
+	preds := make([]predClass, 0, len(conjuncts))
+	for _, c := range conjuncts {
+		pc := predClass{expr: c}
+		relSet := map[int]bool{}
+		var walkErr error
+		sqlparse.Walk(c, func(n sqlparse.Expr) {
+			if ref, ok := n.(*sqlparse.ColumnRef); ok {
+				bd, err := b.resolve(ref)
+				if err != nil {
+					if walkErr == nil {
+						walkErr = err
+					}
+					return
+				}
+				relSet[bd.rel] = true
+			}
+		})
+		if walkErr != nil {
+			return nil, walkErr
+		}
+		for r := range relSet {
+			pc.rels = append(pc.rels, r)
+		}
+		sort.Ints(pc.rels)
+		// Detect "a.x = b.y" equi-joins.
+		if bin, ok := c.(*sqlparse.Binary); ok && bin.Op == "=" && len(pc.rels) == 2 {
+			lc, lok := bin.Left.(*sqlparse.ColumnRef)
+			rc, rok := bin.Right.(*sqlparse.ColumnRef)
+			if lok && rok {
+				lb, _ := b.resolve(lc)
+				rb, _ := b.resolve(rc)
+				if lb.rel != rb.rel {
+					pc.isEquiJoin = true
+					pc.leftBind, pc.rightBind = lb, rb
+				}
+			}
+		}
+		preds = append(preds, pc)
+	}
+	return preds, nil
+}
+
+// runJoins executes the scan + join pipeline and returns joined rows.
+func runJoins(b *binder, preds []predClass, opts Options) ([]joinedRow, error) {
+	n := len(b.tables)
+
+	// Per-relation filtered candidates.
+	candidates := make([][]int32, n)
+	for rel := 0; rel < n; rel++ {
+		var filters []sqlparse.Expr
+		for _, p := range preds {
+			if len(p.rels) == 1 && p.rels[0] == rel {
+				filters = append(filters, p.expr)
+			}
+			// Constant conjuncts (no column references) are applied at the
+			// scan of relation 0 so they are evaluated exactly once per row
+			// and errors (e.g. aggregates in WHERE) surface.
+			if len(p.rels) == 0 && rel == 0 {
+				filters = append(filters, p.expr)
+			}
+		}
+		rows := b.tables[rel].Rows
+		keep := make([]int32, 0, len(rows))
+		probe := make(joinedRow, n)
+		for i := range probe {
+			probe[i] = -1
+		}
+		for i := range rows {
+			probe[rel] = int32(i)
+			ok := true
+			for _, f := range filters {
+				v, err := evalExpr(f, evalEnv{b: b, row: probe})
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() || !truthy(v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				keep = append(keep, int32(i))
+			}
+		}
+		candidates[rel] = keep
+	}
+
+	// Left-deep joins in FROM order.
+	current := make([]joinedRow, 0, len(candidates[0]))
+	for _, ri := range candidates[0] {
+		jr := make(joinedRow, n)
+		for i := range jr {
+			jr[i] = -1
+		}
+		jr[0] = ri
+		current = append(current, jr)
+	}
+
+	bound := map[int]bool{0: true}
+	for rel := 1; rel < n; rel++ {
+		// Equi-join conjuncts connecting rel to already-bound relations.
+		var joins []predClass
+		for _, p := range preds {
+			if !p.isEquiJoin {
+				continue
+			}
+			a, c := p.leftBind.rel, p.rightBind.rel
+			if (a == rel && bound[c]) || (c == rel && bound[a]) {
+				joins = append(joins, p)
+			}
+		}
+		next, err := joinStep(b, current, candidates[rel], rel, joins, opts)
+		if err != nil {
+			return nil, err
+		}
+		current = next
+		bound[rel] = true
+
+		// Residual predicates whose relations are all now bound and which
+		// involve rel (so each residual applies exactly once).
+		for _, p := range preds {
+			if p.isEquiJoin || len(p.rels) < 2 {
+				continue
+			}
+			if p.rels[len(p.rels)-1] != rel {
+				continue
+			}
+			allBound := true
+			for _, r := range p.rels {
+				if !bound[r] {
+					allBound = false
+					break
+				}
+			}
+			if !allBound {
+				continue
+			}
+			filtered := current[:0]
+			for _, jr := range current {
+				v, err := evalExpr(p.expr, evalEnv{b: b, row: jr})
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsNull() && truthy(v) {
+					filtered = append(filtered, jr)
+				}
+			}
+			current = filtered
+		}
+	}
+	return current, nil
+}
+
+// joinStep binds relation rel into the current intermediate rows, using a
+// hash join when equi-join predicates connect it, or a cross product
+// otherwise.
+func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []predClass, opts Options) ([]joinedRow, error) {
+	if len(joins) == 0 {
+		// Cross product.
+		if len(current)*len(cand) > opts.MaxIntermediateRows {
+			return nil, fmt.Errorf("engine: cross product of %d x %d rows exceeds limit %d", len(current), len(cand), opts.MaxIntermediateRows)
+		}
+		out := make([]joinedRow, 0, len(current)*len(cand))
+		for _, jr := range current {
+			for _, ri := range cand {
+				nr := make(joinedRow, len(jr))
+				copy(nr, jr)
+				nr[rel] = ri
+				out = append(out, nr)
+			}
+		}
+		return out, nil
+	}
+
+	// Key extraction: for each join predicate, the column on rel's side and
+	// the column on the bound side.
+	type keyPair struct{ relCol, boundBind binding }
+	pairs := make([]keyPair, len(joins))
+	for i, p := range joins {
+		if p.leftBind.rel == rel {
+			pairs[i] = keyPair{relCol: p.leftBind, boundBind: p.rightBind}
+		} else {
+			pairs[i] = keyPair{relCol: p.rightBind, boundBind: p.leftBind}
+		}
+	}
+
+	// Build hash table over rel's candidates.
+	build := make(map[string][]int32, len(cand))
+	var kb strings.Builder
+	for _, ri := range cand {
+		kb.Reset()
+		null := false
+		for _, kp := range pairs {
+			v := b.tables[rel].Rows[ri][kp.relCol.col]
+			if v.IsNull() {
+				null = true
+				break
+			}
+			kb.WriteString(v.Key())
+			kb.WriteByte(0x1e)
+		}
+		if null {
+			continue // NULL never joins
+		}
+		k := kb.String()
+		build[k] = append(build[k], ri)
+	}
+
+	out := make([]joinedRow, 0, len(current))
+	for _, jr := range current {
+		kb.Reset()
+		null := false
+		for _, kp := range pairs {
+			ri := jr[kp.boundBind.rel]
+			v := b.tables[kp.boundBind.rel].Rows[ri][kp.boundBind.col]
+			if v.IsNull() {
+				null = true
+				break
+			}
+			kb.WriteString(v.Key())
+			kb.WriteByte(0x1e)
+		}
+		if null {
+			continue
+		}
+		for _, ri := range build[kb.String()] {
+			nr := make(joinedRow, len(jr))
+			copy(nr, jr)
+			nr[rel] = ri
+			out = append(out, nr)
+			if len(out) > opts.MaxIntermediateRows {
+				return nil, fmt.Errorf("engine: join intermediate exceeds limit %d rows", opts.MaxIntermediateRows)
+			}
+		}
+	}
+	return out, nil
+}
+
+// project evaluates the SELECT list over joined rows (non-aggregate path).
+func project(b *binder, stmt *sqlparse.Select, joined []joinedRow, trackLineage bool) (*table.Table, [][]table.RowID, error) {
+	var schema table.Schema
+	var items []sqlparse.SelectItem
+	if stmt.Star {
+		for i, t := range b.tables {
+			prefix := b.refs[i].Name()
+			for _, c := range t.Schema {
+				schema = append(schema, table.Column{Name: prefix + "." + c.Name, Kind: c.Kind})
+			}
+		}
+	} else {
+		items = stmt.Items
+		for _, it := range items {
+			name := it.Alias
+			if name == "" {
+				name = it.Expr.String()
+			}
+			schema = append(schema, table.Column{Name: name, Kind: inferKind(b, it.Expr)})
+		}
+	}
+
+	out := table.New("result", schema)
+	var lineage [][]table.RowID
+	if trackLineage {
+		lineage = make([][]table.RowID, 0, len(joined))
+	}
+	for _, jr := range joined {
+		var row table.Row
+		if stmt.Star {
+			row = make(table.Row, 0, len(schema))
+			for rel, t := range b.tables {
+				row = append(row, t.Rows[jr[rel]]...)
+			}
+		} else {
+			row = make(table.Row, len(items))
+			for i, it := range items {
+				v, err := evalExpr(it.Expr, evalEnv{b: b, row: jr})
+				if err != nil {
+					return nil, nil, err
+				}
+				row[i] = v
+			}
+		}
+		out.AppendRow(row)
+		if trackLineage {
+			ids := make([]table.RowID, len(b.tables))
+			for rel := range b.tables {
+				ids[rel] = table.RowID{Table: strings.ToLower(b.tables[rel].Name), Row: int(jr[rel])}
+			}
+			lineage = append(lineage, ids)
+		}
+	}
+	return out, lineage, nil
+}
+
+// inferKind guesses the output kind of an expression for schema purposes.
+func inferKind(b *binder, e sqlparse.Expr) table.Kind {
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		return x.Value.Kind
+	case *sqlparse.ColumnRef:
+		if bd, err := b.resolve(x); err == nil {
+			return b.tables[bd.rel].Schema[bd.col].Kind
+		}
+		return table.KindString
+	case *sqlparse.Binary:
+		switch x.Op {
+		case "+", "-", "*", "%":
+			lk, rk := inferKind(b, x.Left), inferKind(b, x.Right)
+			if lk == table.KindInt && rk == table.KindInt {
+				return table.KindInt
+			}
+			return table.KindFloat
+		case "/":
+			return table.KindFloat
+		default:
+			return table.KindBool
+		}
+	case *sqlparse.Unary:
+		if x.Op == "-" {
+			return inferKind(b, x.X)
+		}
+		return table.KindBool
+	case *sqlparse.In, *sqlparse.Between, *sqlparse.Like, *sqlparse.IsNull:
+		return table.KindBool
+	case *sqlparse.Call:
+		switch x.Name {
+		case "COUNT":
+			return table.KindInt
+		case "AVG":
+			return table.KindFloat
+		default: // SUM/MIN/MAX follow the argument
+			if x.Arg != nil {
+				return inferKind(b, x.Arg)
+			}
+			return table.KindFloat
+		}
+	}
+	return table.KindString
+}
+
+// finish applies DISTINCT, ORDER BY and LIMIT to a result.
+func finish(b *binder, stmt *sqlparse.Select, res *Result, joined []joinedRow, isAgg bool) (*Result, error) {
+	// DISTINCT.
+	if stmt.Distinct {
+		seen := make(map[string]bool, res.Table.NumRows())
+		keepRows := res.Table.Rows[:0]
+		var keepLineage [][]table.RowID
+		if res.Lineage != nil {
+			keepLineage = res.Lineage[:0]
+		}
+		var keepJoined []joinedRow
+		if joined != nil {
+			keepJoined = joined[:0]
+		}
+		for i, r := range res.Table.Rows {
+			k := r.Key()
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			keepRows = append(keepRows, r)
+			if res.Lineage != nil {
+				keepLineage = append(keepLineage, res.Lineage[i])
+			}
+			if joined != nil {
+				keepJoined = append(keepJoined, joined[i])
+			}
+		}
+		res.Table.Rows = keepRows
+		res.Lineage = keepLineage
+		joined = keepJoined
+	}
+
+	// ORDER BY.
+	if len(stmt.OrderBy) > 0 {
+		idx := make([]int, res.Table.NumRows())
+		for i := range idx {
+			idx[i] = i
+		}
+		keys := make([][]table.Value, len(idx))
+		for i := range idx {
+			ks := make([]table.Value, len(stmt.OrderBy))
+			for oi, o := range stmt.OrderBy {
+				v, err := orderKey(b, stmt, res, joined, i, o.Expr, isAgg)
+				if err != nil {
+					return nil, err
+				}
+				ks[oi] = v
+			}
+			keys[i] = ks
+		}
+		sort.SliceStable(idx, func(a, c int) bool {
+			for oi, o := range stmt.OrderBy {
+				cmp := keys[idx[a]][oi].Compare(keys[idx[c]][oi])
+				if cmp == 0 {
+					continue
+				}
+				if o.Desc {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		newRows := make([]table.Row, len(idx))
+		var newLineage [][]table.RowID
+		if res.Lineage != nil {
+			newLineage = make([][]table.RowID, len(idx))
+		}
+		for i, j := range idx {
+			newRows[i] = res.Table.Rows[j]
+			if res.Lineage != nil {
+				newLineage[i] = res.Lineage[j]
+			}
+		}
+		res.Table.Rows = newRows
+		res.Lineage = newLineage
+	}
+
+	// LIMIT.
+	if stmt.Limit >= 0 && res.Table.NumRows() > stmt.Limit {
+		res.Table.Rows = res.Table.Rows[:stmt.Limit]
+		if res.Lineage != nil {
+			res.Lineage = res.Lineage[:stmt.Limit]
+		}
+	}
+	return res, nil
+}
+
+// orderKey computes an ORDER BY key for output row i. For SPJ queries the
+// expression is evaluated against the joined base row; for aggregates it must
+// match an output column by alias or rendered text.
+func orderKey(b *binder, stmt *sqlparse.Select, res *Result, joined []joinedRow, i int, e sqlparse.Expr, isAgg bool) (table.Value, error) {
+	// Output-column match (alias or rendered expression) works for both
+	// aggregate and plain queries.
+	name := e.String()
+	if col := res.Table.ColumnIndex(name); col >= 0 {
+		return res.Table.Rows[i][col], nil
+	}
+	if c, ok := e.(*sqlparse.ColumnRef); ok {
+		if col := res.Table.ColumnIndex(c.Column); col >= 0 {
+			return res.Table.Rows[i][col], nil
+		}
+	}
+	if isAgg || joined == nil {
+		return table.Null, fmt.Errorf("engine: ORDER BY %s does not match an output column", name)
+	}
+	return evalExpr(e, evalEnv{b: b, row: joined[i]})
+}

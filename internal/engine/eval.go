@@ -1,0 +1,379 @@
+// Package engine implements the query planner and executor for the SQL
+// subset parsed by internal/sqlparse: filtered scans, left-deep hash joins
+// with cartesian fallback, projection, hash aggregation, DISTINCT, ORDER BY
+// and LIMIT. The executor tracks lineage — for every SPJ result row, the base
+// table rows that produced it — which the ASQP-RL preprocessing pipeline uses
+// to build the RL action space.
+package engine
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+	"sync"
+
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+)
+
+// binding maps a column reference to (relation index, column index).
+type binding struct {
+	rel int
+	col int
+}
+
+// binder resolves column references against the relations in scope.
+type binder struct {
+	db       *table.Database
+	refs     []sqlparse.TableRef // FROM entries then JOIN entries
+	tables   []*table.Table      // resolved tables, aligned with refs
+	bindings map[*sqlparse.ColumnRef]binding
+}
+
+func newBinder(db *table.Database, stmt *sqlparse.Select) (*binder, error) {
+	b := &binder{db: db, bindings: make(map[*sqlparse.ColumnRef]binding)}
+	add := func(ref sqlparse.TableRef) error {
+		t := db.Table(ref.Table)
+		if t == nil {
+			return fmt.Errorf("engine: unknown table %q", ref.Table)
+		}
+		for _, existing := range b.refs {
+			if strings.EqualFold(existing.Name(), ref.Name()) {
+				return fmt.Errorf("engine: duplicate relation name %q (alias it)", ref.Name())
+			}
+		}
+		b.refs = append(b.refs, ref)
+		b.tables = append(b.tables, t)
+		return nil
+	}
+	for _, ref := range stmt.From {
+		if err := add(ref); err != nil {
+			return nil, err
+		}
+	}
+	for _, j := range stmt.Joins {
+		if err := add(j.Ref); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
+// resolve binds a single column reference.
+func (b *binder) resolve(c *sqlparse.ColumnRef) (binding, error) {
+	if bd, ok := b.bindings[c]; ok {
+		return bd, nil
+	}
+	var found []binding
+	for i, ref := range b.refs {
+		if c.Table != "" && !strings.EqualFold(ref.Name(), c.Table) {
+			continue
+		}
+		if col := b.tables[i].ColumnIndex(c.Column); col >= 0 {
+			found = append(found, binding{rel: i, col: col})
+		}
+	}
+	switch len(found) {
+	case 0:
+		return binding{}, fmt.Errorf("engine: column %q not found", c.String())
+	case 1:
+		b.bindings[c] = found[0]
+		return found[0], nil
+	default:
+		return binding{}, fmt.Errorf("engine: column %q is ambiguous", c.String())
+	}
+}
+
+// bindExpr resolves every column reference under e.
+func (b *binder) bindExpr(e sqlparse.Expr) error {
+	var firstErr error
+	sqlparse.Walk(e, func(n sqlparse.Expr) {
+		if c, ok := n.(*sqlparse.ColumnRef); ok {
+			if _, err := b.resolve(c); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	})
+	return firstErr
+}
+
+// joinedRow is an intermediate tuple during join processing: one row index
+// per relation, -1 for relations not yet joined.
+type joinedRow []int32
+
+// evalEnv supplies column values for expression evaluation over a joined row.
+type evalEnv struct {
+	b   *binder
+	row joinedRow
+}
+
+func (e evalEnv) value(bd binding) table.Value {
+	ri := e.row[bd.rel]
+	if ri < 0 {
+		return table.Null
+	}
+	return e.b.tables[bd.rel].Rows[ri][bd.col]
+}
+
+// likeCache caches compiled LIKE patterns; LIKE nodes are shared across many
+// row evaluations of the same query.
+var likeCache sync.Map // string -> *regexp.Regexp
+
+func likeRegexp(pattern string) (*regexp.Regexp, error) {
+	if re, ok := likeCache.Load(pattern); ok {
+		return re.(*regexp.Regexp), nil
+	}
+	var b strings.Builder
+	b.WriteString("(?is)^")
+	for _, r := range pattern {
+		switch r {
+		case '%':
+			b.WriteString(".*")
+		case '_':
+			b.WriteString(".")
+		default:
+			b.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	b.WriteString("$")
+	re, err := regexp.Compile(b.String())
+	if err != nil {
+		return nil, fmt.Errorf("engine: bad LIKE pattern %q: %w", pattern, err)
+	}
+	likeCache.Store(pattern, re)
+	return re, nil
+}
+
+// evalExpr evaluates e over env. Aggregate calls are not valid here; they are
+// handled by the aggregation operator.
+func evalExpr(e sqlparse.Expr, env evalEnv) (table.Value, error) {
+	switch x := e.(type) {
+	case *sqlparse.Literal:
+		return x.Value, nil
+	case *sqlparse.ColumnRef:
+		bd, err := env.b.resolve(x)
+		if err != nil {
+			return table.Null, err
+		}
+		return env.value(bd), nil
+	case *sqlparse.Unary:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return table.Null, err
+		}
+		switch x.Op {
+		case "NOT":
+			if v.IsNull() {
+				return table.Null, nil
+			}
+			return table.NewBool(!truthy(v)), nil
+		case "-":
+			switch v.Kind {
+			case table.KindInt:
+				return table.NewInt(-v.Int), nil
+			case table.KindFloat:
+				return table.NewFloat(-v.Float), nil
+			case table.KindNull:
+				return table.Null, nil
+			}
+			return table.Null, fmt.Errorf("engine: cannot negate %v", v.Kind)
+		}
+		return table.Null, fmt.Errorf("engine: unknown unary op %q", x.Op)
+	case *sqlparse.Binary:
+		return evalBinary(x, env)
+	case *sqlparse.In:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return table.Null, err
+		}
+		if v.IsNull() {
+			return table.Null, nil
+		}
+		match := false
+		for _, item := range x.List {
+			iv, err := evalExpr(item, env)
+			if err != nil {
+				return table.Null, err
+			}
+			if v.Equal(iv) {
+				match = true
+				break
+			}
+		}
+		return table.NewBool(match != x.Not), nil
+	case *sqlparse.Between:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return table.Null, err
+		}
+		lo, err := evalExpr(x.Lo, env)
+		if err != nil {
+			return table.Null, err
+		}
+		hi, err := evalExpr(x.Hi, env)
+		if err != nil {
+			return table.Null, err
+		}
+		if v.IsNull() || lo.IsNull() || hi.IsNull() {
+			return table.Null, nil
+		}
+		in := v.Compare(lo) >= 0 && v.Compare(hi) <= 0
+		return table.NewBool(in != x.Not), nil
+	case *sqlparse.Like:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return table.Null, err
+		}
+		if v.IsNull() {
+			return table.Null, nil
+		}
+		re, err := likeRegexp(x.Pattern)
+		if err != nil {
+			return table.Null, err
+		}
+		return table.NewBool(re.MatchString(v.String()) != x.Not), nil
+	case *sqlparse.IsNull:
+		v, err := evalExpr(x.X, env)
+		if err != nil {
+			return table.Null, err
+		}
+		return table.NewBool(v.IsNull() != x.Not), nil
+	case *sqlparse.Call:
+		return table.Null, fmt.Errorf("engine: aggregate %s not allowed in this context", x.Name)
+	}
+	return table.Null, fmt.Errorf("engine: unsupported expression %T", e)
+}
+
+func evalBinary(x *sqlparse.Binary, env evalEnv) (table.Value, error) {
+	switch x.Op {
+	case "AND":
+		l, err := evalExpr(x.Left, env)
+		if err != nil {
+			return table.Null, err
+		}
+		if !l.IsNull() && !truthy(l) {
+			return table.NewBool(false), nil
+		}
+		r, err := evalExpr(x.Right, env)
+		if err != nil {
+			return table.Null, err
+		}
+		if !r.IsNull() && !truthy(r) {
+			return table.NewBool(false), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return table.Null, nil
+		}
+		return table.NewBool(true), nil
+	case "OR":
+		l, err := evalExpr(x.Left, env)
+		if err != nil {
+			return table.Null, err
+		}
+		if !l.IsNull() && truthy(l) {
+			return table.NewBool(true), nil
+		}
+		r, err := evalExpr(x.Right, env)
+		if err != nil {
+			return table.Null, err
+		}
+		if !r.IsNull() && truthy(r) {
+			return table.NewBool(true), nil
+		}
+		if l.IsNull() || r.IsNull() {
+			return table.Null, nil
+		}
+		return table.NewBool(false), nil
+	}
+	l, err := evalExpr(x.Left, env)
+	if err != nil {
+		return table.Null, err
+	}
+	r, err := evalExpr(x.Right, env)
+	if err != nil {
+		return table.Null, err
+	}
+	switch x.Op {
+	case "=", "<>", "<", "<=", ">", ">=":
+		if l.IsNull() || r.IsNull() {
+			return table.Null, nil
+		}
+		cmp := l.Compare(r)
+		var out bool
+		switch x.Op {
+		case "=":
+			out = l.Equal(r)
+		case "<>":
+			out = !l.Equal(r)
+		case "<":
+			out = cmp < 0
+		case "<=":
+			out = cmp <= 0
+		case ">":
+			out = cmp > 0
+		case ">=":
+			out = cmp >= 0
+		}
+		return table.NewBool(out), nil
+	case "+", "-", "*", "/", "%":
+		if l.IsNull() || r.IsNull() {
+			return table.Null, nil
+		}
+		if !l.IsNumeric() || !r.IsNumeric() {
+			return table.Null, fmt.Errorf("engine: arithmetic %q on non-numeric values", x.Op)
+		}
+		if l.Kind == table.KindInt && r.Kind == table.KindInt && x.Op != "/" {
+			a, b := l.Int, r.Int
+			switch x.Op {
+			case "+":
+				return table.NewInt(a + b), nil
+			case "-":
+				return table.NewInt(a - b), nil
+			case "*":
+				return table.NewInt(a * b), nil
+			case "%":
+				if b == 0 {
+					return table.Null, nil
+				}
+				return table.NewInt(a % b), nil
+			}
+		}
+		a, b := l.AsFloat(), r.AsFloat()
+		switch x.Op {
+		case "+":
+			return table.NewFloat(a + b), nil
+		case "-":
+			return table.NewFloat(a - b), nil
+		case "*":
+			return table.NewFloat(a * b), nil
+		case "/":
+			if b == 0 {
+				return table.Null, nil
+			}
+			return table.NewFloat(a / b), nil
+		case "%":
+			if b == 0 {
+				return table.Null, nil
+			}
+			return table.NewFloat(float64(int64(a) % int64(b))), nil
+		}
+	}
+	return table.Null, fmt.Errorf("engine: unknown binary op %q", x.Op)
+}
+
+// truthy reports whether a non-NULL value counts as true in a predicate
+// context.
+func truthy(v table.Value) bool {
+	switch v.Kind {
+	case table.KindBool:
+		return v.Bool
+	case table.KindInt:
+		return v.Int != 0
+	case table.KindFloat:
+		return v.Float != 0
+	case table.KindString:
+		return v.Str != ""
+	default:
+		return false
+	}
+}

@@ -1,0 +1,63 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+
+	"asqprl/internal/sqlparse"
+)
+
+func TestExplainJoinPlan(t *testing.T) {
+	db := testDB()
+	plan, err := Explain(db, sqlparse.MustParse(
+		"SELECT m.title FROM movies m JOIN credits c ON m.id = c.movie_id WHERE m.year > 2000 AND c.role = 'director' ORDER BY m.title LIMIT 5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"scan m", "scan c",
+		"filter: m.year > 2000", "filter: c.role = 'director'",
+		"hash join c on m.id = c.movie_id",
+		"project", "sort by m.title", "limit 5",
+	} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestExplainCrossAndAggregate(t *testing.T) {
+	db := testDB()
+	plan, err := Explain(db, sqlparse.MustParse(
+		"SELECT genre, COUNT(*) FROM movies, credits GROUP BY genre HAVING COUNT(*) > 1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"cross join credits", "hash aggregate by genre", "having: COUNT(*) > 1"} {
+		if !strings.Contains(plan, want) {
+			t.Errorf("plan missing %q:\n%s", want, plan)
+		}
+	}
+}
+
+func TestExplainResidualPredicate(t *testing.T) {
+	db := testDB()
+	plan, err := Explain(db, sqlparse.MustParse(
+		"SELECT m.id FROM movies m, credits c WHERE m.id = c.movie_id AND m.year + c.movie_id > 2000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "residual filter") {
+		t.Errorf("plan missing residual filter:\n%s", plan)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	db := testDB()
+	if _, err := Explain(db, sqlparse.MustParse("SELECT * FROM ghost")); err == nil {
+		t.Error("unknown table should error")
+	}
+	if _, err := Explain(db, sqlparse.MustParse("SELECT nope FROM movies")); err == nil {
+		t.Error("unknown column should error")
+	}
+}

@@ -1,0 +1,126 @@
+package experiments
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// TestAllRunnersProduceWellFormedTables runs every experiment at Fast()
+// sizing and checks structural well-formedness: at least one table, matching
+// column counts, non-empty cells.
+func TestAllRunnersProduceWellFormedTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment smoke tests are not short")
+	}
+	for _, r := range Registry() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tables, err := r.Run(Fast())
+			if err != nil {
+				t.Fatalf("%s: %v", r.ID, err)
+			}
+			if len(tables) == 0 {
+				t.Fatalf("%s: no tables", r.ID)
+			}
+			for _, tab := range tables {
+				if tab.Title == "" || len(tab.Header) == 0 {
+					t.Errorf("%s: table missing title/header", r.ID)
+				}
+				if len(tab.Rows) == 0 {
+					t.Errorf("%s: table %q has no rows", r.ID, tab.Title)
+				}
+				for ri, row := range tab.Rows {
+					if len(row) != len(tab.Header) {
+						t.Errorf("%s: table %q row %d has %d cells, want %d",
+							r.ID, tab.Title, ri, len(row), len(tab.Header))
+					}
+					for ci, cell := range row {
+						if cell == "" {
+							t.Errorf("%s: table %q cell (%d,%d) empty", r.ID, tab.Title, ri, ci)
+						}
+					}
+				}
+				var buf bytes.Buffer
+				tab.Render(&buf)
+				if !strings.Contains(buf.String(), tab.Title) {
+					t.Errorf("%s: render missing title", r.ID)
+				}
+			}
+		})
+	}
+}
+
+func TestByID(t *testing.T) {
+	r, err := ByID("fig2")
+	if err != nil || r.ID != "fig2" {
+		t.Errorf("ByID(fig2) = %v, %v", r.ID, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Error("unknown id should error")
+	}
+}
+
+func TestParamsConfigs(t *testing.T) {
+	p := Full()
+	cfg := p.asqpConfig(7)
+	if cfg.K != p.K || cfg.F != p.F || cfg.Seed != 7 {
+		t.Errorf("asqpConfig wrong: %+v", cfg)
+	}
+	light := p.lightConfig(7)
+	if light.TrainFraction >= 1 || light.Episodes >= cfg.Episodes {
+		t.Errorf("lightConfig should shrink work: %+v", light)
+	}
+}
+
+func TestTableRenderAlignment(t *testing.T) {
+	tab := &Table{
+		Title:  "demo",
+		Header: []string{"A", "LongHeader"},
+	}
+	tab.AddRow("x", "1")
+	tab.AddRow("longer", "2")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 5 { // title, header, separator, two rows
+		t.Fatalf("rendered %d lines, want 5:\n%s", len(lines), buf.String())
+	}
+	// Column B should start at the same offset in each data line.
+	off := strings.Index(lines[1], "LongHeader")
+	if strings.Index(lines[4], "2") != off {
+		t.Errorf("columns not aligned:\n%s", buf.String())
+	}
+}
+
+// TestFig2ShapeHolds verifies the headline claim's shape at fast scale:
+// ASQP-RL outscores the classical baselines, and the VAE is far behind.
+func TestFig2ShapeHolds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("not short")
+	}
+	tables, err := Fig2Overall(Fast())
+	if err != nil {
+		t.Fatal(err)
+	}
+	imdb := tables[0]
+	scores := map[string]float64{}
+	for _, row := range imdb.Rows {
+		s := row[1]
+		if i := strings.IndexByte(s, 0xC2); i > 0 { // strip ±...
+			s = s[:i]
+		}
+		v, err := strconv.ParseFloat(strings.SplitN(s, "±", 2)[0], 64)
+		if err != nil {
+			t.Fatalf("bad score cell %q: %v", row[1], err)
+		}
+		scores[row[0]] = v
+	}
+	if scores["ASQP-RL"] <= scores["RAN"] {
+		t.Errorf("ASQP-RL (%.3f) should beat RAN (%.3f)", scores["ASQP-RL"], scores["RAN"])
+	}
+	if scores["VAE"] >= scores["ASQP-RL"] {
+		t.Errorf("VAE (%.3f) should be far below ASQP-RL (%.3f)", scores["VAE"], scores["ASQP-RL"])
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"asqprl/internal/baselines"
+	"asqprl/internal/core"
+	"asqprl/internal/engine"
+	"asqprl/internal/metrics"
+	"asqprl/internal/table"
+)
+
+// DiversityComparison regenerates the Section 6.2 diversity study: pairwise
+// Jaccard diversity of approximate answers (queries run with LIMIT 100)
+// for the full database, ASQP-RL, and the subset baselines.
+func DiversityComparison(p Params) ([]*Table, error) {
+	ds := loadDataset("IMDB", p, p.Seed)
+
+	// Queries with LIMIT 100 as in the paper.
+	limited := ds.test
+	for i := range limited {
+		s := limited[i].Stmt.Clone()
+		s.Limit = 100
+		limited[i].Stmt = s
+	}
+
+	// Diversity as in Section 6.2: the mean pairwise Jaccard distance among
+	// the rows of each (LIMIT 100) answer, averaged over queries with at
+	// least two result rows.
+	diversityOf := func(db *table.Database) (float64, error) {
+		var per []float64
+		for _, q := range limited {
+			res, err := engine.ExecuteWith(db, q.Stmt, engine.Options{})
+			if err != nil {
+				return 0, err
+			}
+			if res.Table.NumRows() >= 2 {
+				per = append(per, metrics.IntraResultDiversity(res.Table, 100))
+			}
+		}
+		return metrics.Mean(per), nil
+	}
+
+	t := &Table{
+		Title:  "Section 6.2: diversity of approximate answers (IMDB, LIMIT 100)",
+		Header: []string{"Method", "PairwiseJaccardDiversity", "TestScore"},
+	}
+
+	full, err := diversityOf(ds.db)
+	if err != nil {
+		return nil, err
+	}
+	t.AddRow("FullDB", fmt.Sprintf("%.3f", full), "1.000")
+
+	sys, err := core.Train(ds.db, ds.train, p.asqpConfig(p.Seed))
+	if err != nil {
+		return nil, err
+	}
+	asqpDiv, err := diversityOf(sys.SetDB())
+	if err != nil {
+		return nil, err
+	}
+	asqpScore, _ := metrics.Score(ds.db, sys.SetDB(), ds.test, p.F)
+	t.AddRow("ASQP-RL", fmt.Sprintf("%.3f", asqpDiv), fmt.Sprintf("%.3f", asqpScore))
+
+	opts := baselines.Options{F: p.F, Seed: p.Seed, TimeBudget: p.BaselineBudget}
+	for _, name := range []string{"RAN", "TOP", "QRD", "SKY", "VERD"} {
+		b, err := baselines.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		sub, err := b.Build(ds.db, ds.train, p.K, opts)
+		if err != nil {
+			return nil, err
+		}
+		sdb := sub.Materialize(ds.db)
+		div, err := diversityOf(sdb)
+		if err != nil {
+			return nil, err
+		}
+		score, _ := metrics.Score(ds.db, sdb, ds.test, p.F)
+		t.AddRow(name, fmt.Sprintf("%.3f", div), fmt.Sprintf("%.3f", score))
+	}
+	return []*Table{t}, nil
+}
+
+// AblationRepSelection compares medoid-based representative selection
+// (the pipeline default) against uniformly sampling the same number of
+// training queries — the DESIGN.md ablation on representative selection.
+func AblationRepSelection(p Params) ([]*Table, error) {
+	ds := loadDataset("IMDB", p, p.Seed)
+
+	// Default: clustering + medoids over the full training workload.
+	sysMedoid, err := core.Train(ds.db, ds.train, p.asqpConfig(p.Seed))
+	if err != nil {
+		return nil, err
+	}
+	medoidScore, err := metrics.Score(ds.db, sysMedoid.SetDB(), ds.test, p.F)
+	if err != nil {
+		return nil, err
+	}
+
+	// Uniform: train on a random subset of queries of the same size as the
+	// representative set, bypassing the clustering's coverage.
+	rng := rand.New(rand.NewSource(p.Seed + 5))
+	idx := rng.Perm(len(ds.train))
+	n := p.Reps
+	if n > len(idx) {
+		n = len(idx)
+	}
+	uniform := ds.train.Subset(idx[:n])
+	cfgU := p.asqpConfig(p.Seed)
+	sysUniform, err := core.Train(ds.db, uniform, cfgU)
+	if err != nil {
+		return nil, err
+	}
+	uniformScore, err := metrics.Score(ds.db, sysUniform.SetDB(), ds.test, p.F)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{
+		Title:  "Ablation: representative selection (IMDB)",
+		Header: []string{"Selection", "TestScore"},
+	}
+	t.AddRow("medoid clustering (default)", fmt.Sprintf("%.3f", medoidScore))
+	t.AddRow("uniform query sample", fmt.Sprintf("%.3f", uniformScore))
+	return []*Table{t}, nil
+}
+
+// AblationRelaxation compares relaxation settings: effectively off, the
+// default factor, and aggressive relaxation with conjunct dropping — showing
+// relaxation's contribution to generalization on unseen queries.
+func AblationRelaxation(p Params) ([]*Table, error) {
+	ds := loadDataset("IMDB", p, p.Seed)
+	t := &Table{
+		Title:  "Ablation: query relaxation (IMDB)",
+		Header: []string{"Relaxation", "TrainScore", "TestScore"},
+	}
+	variants := []struct {
+		name   string
+		factor float64
+		drop   bool
+	}{
+		{"off (factor 1e-6)", 1e-6, false},
+		{"default (factor 0.25)", 0.25, false},
+		{"aggressive (0.5 + drop)", 0.5, true},
+	}
+	for _, v := range variants {
+		cfg := p.asqpConfig(p.Seed)
+		cfg.RelaxFactor = v.factor
+		cfg.RelaxDrop = v.drop
+		sys, err := core.Train(ds.db, ds.train, cfg)
+		if err != nil {
+			return nil, err
+		}
+		trainScore, _ := metrics.Score(ds.db, sys.SetDB(), ds.train, p.F)
+		testScore, _ := metrics.Score(ds.db, sys.SetDB(), ds.test, p.F)
+		t.AddRow(v.name, fmt.Sprintf("%.3f", trainScore), fmt.Sprintf("%.3f", testScore))
+	}
+	return []*Table{t}, nil
+}

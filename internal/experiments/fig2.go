@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"time"
+
+	"asqprl/internal/baselines"
+	"asqprl/internal/core"
+	"asqprl/internal/generative"
+	"asqprl/internal/metrics"
+)
+
+// Fig2Overall regenerates Figure 2: approximation quality (Equation 1 on the
+// held-out test workload), setup time, and average per-query time for
+// ASQP-RL, ASQP-Light, the VAE, and every subset baseline on IMDB and MAS.
+func Fig2Overall(p Params) ([]*Table, error) {
+	var tables []*Table
+	for _, dsName := range []string{"IMDB", "MAS"} {
+		t := &Table{
+			Title:  "Figure 2 (" + dsName + "): quality and running time",
+			Header: []string{"Baseline", "Score", "Setup", "QueryAvg"},
+		}
+		type rowAgg struct {
+			scores []float64
+			setups []time.Duration
+			qavgs  []time.Duration
+		}
+		agg := map[string]*rowAgg{}
+		order := []string{"ASQP-RL", "ASQP-Light", "VAE"}
+		for _, b := range baselines.All() {
+			order = append(order, b.Name())
+		}
+		for _, name := range order {
+			agg[name] = &rowAgg{}
+		}
+
+		for s := 0; s < p.Seeds; s++ {
+			seed := p.Seed + int64(s)*1000
+			ds := loadDataset(dsName, p, seed)
+
+			record := func(name string, score float64, setup time.Duration, qavg time.Duration) {
+				a := agg[name]
+				a.scores = append(a.scores, score)
+				a.setups = append(a.setups, setup)
+				a.qavgs = append(a.qavgs, qavg)
+			}
+
+			// ASQP-RL.
+			start := time.Now()
+			sys, err := core.Train(ds.db, ds.train, p.asqpConfig(seed))
+			if err != nil {
+				return nil, err
+			}
+			setup := time.Since(start)
+			score, err := metrics.Score(ds.db, sys.SetDB(), ds.test, p.F)
+			if err != nil {
+				return nil, err
+			}
+			record("ASQP-RL", score, setup, queryAvg(sys.SetDB(), ds.test, 10))
+
+			// ASQP-Light.
+			start = time.Now()
+			light, err := core.Train(ds.db, ds.train, p.lightConfig(seed))
+			if err != nil {
+				return nil, err
+			}
+			lightSetup := time.Since(start)
+			lightScore, err := metrics.Score(ds.db, light.SetDB(), ds.test, p.F)
+			if err != nil {
+				return nil, err
+			}
+			record("ASQP-Light", lightScore, lightSetup, queryAvg(light.SetDB(), ds.test, 10))
+
+			// VAE (gAQP): generated tuples, queried directly.
+			start = time.Now()
+			gen, err := generative.GenerateDatabase(ds.db, p.K, generative.Options{
+				Epochs: 12, BatchRows: 2000, Seed: seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			vaeSetup := time.Since(start)
+			vaeScore, _ := metrics.Score(ds.db, gen, ds.test, p.F)
+			record("VAE", vaeScore, vaeSetup, queryAvg(gen, ds.test, 10))
+
+			// Subset baselines.
+			opts := baselines.Options{F: p.F, Seed: seed, TimeBudget: p.BaselineBudget}
+			for _, b := range baselines.All() {
+				start = time.Now()
+				sub, err := b.Build(ds.db, ds.train, p.K, opts)
+				if err != nil {
+					return nil, err
+				}
+				bSetup := time.Since(start)
+				sdb := sub.Materialize(ds.db)
+				bScore, _ := metrics.Score(ds.db, sdb, ds.test, p.F)
+				record(b.Name(), bScore, bSetup, queryAvg(sdb, ds.test, 10))
+			}
+		}
+
+		for _, name := range order {
+			a := agg[name]
+			t.AddRow(name, fmtScore(a.scores), fmtDurs(a.setups), fmtDurs(a.qavgs))
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"time"
+
+	"asqprl/internal/core"
+	"asqprl/internal/metrics"
+)
+
+// Fig3Ablation regenerates Figure 3: the RL ablation over environments
+// (GSL, DRP, DRP+GSL) and agent variants (full ASQP-RL, without PPO
+// clipping, and additionally without the actor-critic baseline) on IMDB and
+// MAS, reporting score and total time.
+func Fig3Ablation(p Params) ([]*Table, error) {
+	type variant struct {
+		name string
+		mod  func(*core.Config)
+	}
+	variants := []variant{
+		{"ASQP-RL", func(c *core.Config) {}},
+		{"ASQP-RL - ppo", func(c *core.Config) {
+			c.RL.ClipEpsilon = 0
+			c.RL.KLCoef = 0
+		}},
+		{"ASQP-RL - ppo - ac", func(c *core.Config) {
+			c.RL.ClipEpsilon = 0
+			c.RL.KLCoef = 0
+			c.RL.UseCritic = false
+		}},
+	}
+	envs := []core.EnvironmentKind{core.EnvGSL, core.EnvDRP, core.EnvHybrid}
+
+	var tables []*Table
+	for _, dsName := range []string{"IMDB", "MAS"} {
+		t := &Table{
+			Title:  "Figure 3 (" + dsName + "): reinforcement learning ablation",
+			Header: []string{"Environment", "Agent", "TrainScore", "TestScore", "TotalTime"},
+		}
+		for _, env := range envs {
+			for _, v := range variants {
+				var trainScores, scores []float64
+				var times []time.Duration
+				for s := 0; s < p.Seeds; s++ {
+					seed := p.Seed + int64(s)*1000
+					ds := loadDataset(dsName, p, seed)
+					cfg := p.asqpConfig(seed)
+					cfg.Environment = env
+					// The ablation compares nine variants per dataset; run
+					// each at half the episode budget, and keep DRP episodes
+					// (horizon-long, with two phases per swap) in the same
+					// wall-clock ballpark as GSL's budget-bounded episodes.
+					cfg.Episodes = p.Episodes / 2
+					cfg.DRPHorizon = p.K / 4
+					v.mod(&cfg)
+					start := time.Now()
+					sys, err := core.Train(ds.db, ds.train, cfg)
+					if err != nil {
+						return nil, err
+					}
+					elapsed := time.Since(start)
+					trainScore, err := metrics.Score(ds.db, sys.SetDB(), ds.train, p.F)
+					if err != nil {
+						return nil, err
+					}
+					score, err := metrics.Score(ds.db, sys.SetDB(), ds.test, p.F)
+					if err != nil {
+						return nil, err
+					}
+					trainScores = append(trainScores, trainScore)
+					scores = append(scores, score)
+					times = append(times, elapsed)
+				}
+				t.AddRow(env.String(), v.name, fmtScore(trainScores), fmtScore(scores), fmtDurs(times))
+			}
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}

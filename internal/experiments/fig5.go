@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"asqprl/internal/core"
+	"asqprl/internal/engine"
+	"asqprl/internal/metrics"
+)
+
+// Fig5Estimator regenerates Figure 5 and the "Answers Estimation Quality"
+// discussion of Section 6.2: the answerability estimator's precision and
+// recall on held-out queries as the training fraction shrinks, plus the
+// full-system variants that fall back to the database below prediction
+// thresholds 0.6 and 0.8, reporting the resulting score and per-query time.
+func Fig5Estimator(p Params) ([]*Table, error) {
+	t := &Table{
+		Title:  "Figure 5: answerability estimator quality vs training fraction (IMDB)",
+		Header: []string{"TrainFraction", "Precision", "Recall"},
+	}
+	fractions := []float64{1.0, 0.75, 0.5}
+	ds := loadDataset("IMDB", p, p.Seed)
+	// The estimator's job is separating answerable from unanswerable
+	// queries; evaluate it over a mix that contains both populations —
+	// familiar (train) and unseen (test) queries.
+	evalSet := append(workloadCopy(ds.train), ds.test...)
+	evalSet.Normalize()
+
+	var fullSys *core.System
+	for _, frac := range fractions {
+		cfg := p.asqpConfig(p.Seed)
+		cfg.TrainFraction = frac
+		sys, err := core.Train(ds.db, ds.train, cfg)
+		if err != nil {
+			return nil, err
+		}
+		if frac == 1.0 {
+			fullSys = sys
+		}
+		// Ground truth: actual per-query score on the approximation set,
+		// thresholded at 0.5 as in the paper.
+		actualScores, _ := metrics.PerQueryScores(ds.db, sys.SetDB(), evalSet, p.F)
+		actual := make([]bool, len(evalSet))
+		predicted := make([]bool, len(evalSet))
+		for i, q := range evalSet {
+			actual[i] = actualScores[i] >= 0.5
+			pred, _ := sys.Estimator().Estimate(q.Stmt)
+			predicted[i] = pred >= 0.5
+		}
+		precision, recall := metrics.PrecisionRecall(predicted, actual)
+		t.AddRow(fmt.Sprintf("%.0f%%", frac*100), fmt.Sprintf("%.2f", precision), fmt.Sprintf("%.2f", recall))
+	}
+
+	// Full-system fallback variants.
+	t2 := &Table{
+		Title:  "Section 6.2: full system with database fallback below prediction threshold (IMDB)",
+		Header: []string{"FallbackThreshold", "Score", "QueryAvg"},
+	}
+	for _, thr := range []float64{0.0, 0.6, 0.8} {
+		var total float64
+		var elapsed time.Duration
+		for i, q := range ds.test {
+			pred, _ := fullSys.Estimator().Estimate(q.Stmt)
+			start := time.Now()
+			target := fullSys.SetDB()
+			if pred < thr {
+				target = ds.db
+			}
+			res, err := engine.ExecuteWith(target, q.Stmt, engine.Options{})
+			if err != nil {
+				return nil, err
+			}
+			elapsed += time.Since(start)
+			if pred < thr {
+				// Exact answer.
+				total += 1
+			} else {
+				scores, _ := metrics.PerQueryScores(ds.db, fullSys.SetDB(), ds.test.Subset([]int{i}), p.F)
+				if len(scores) > 0 {
+					total += scores[0]
+				}
+			}
+			_ = res
+		}
+		label := "none"
+		if thr > 0 {
+			label = fmt.Sprintf("%.1f", thr)
+		}
+		t2.AddRow(label,
+			fmt.Sprintf("%.3f", total/float64(len(ds.test))),
+			fmtDur(elapsed/time.Duration(len(ds.test))))
+	}
+	return []*Table{t, t2}, nil
+}

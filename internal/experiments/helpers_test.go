@@ -1,0 +1,91 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFmtScore(t *testing.T) {
+	if got := fmtScore([]float64{0.5}); got != "0.500" {
+		t.Errorf("single score = %q", got)
+	}
+	got := fmtScore([]float64{0.4, 0.6})
+	if !strings.HasPrefix(got, "0.500±") {
+		t.Errorf("multi score = %q", got)
+	}
+}
+
+func TestFmtDurations(t *testing.T) {
+	if got := fmtDur(1500 * time.Microsecond); got != "1.5ms" {
+		t.Errorf("fmtDur = %q", got)
+	}
+	if got := fmtDurs([]time.Duration{time.Millisecond}); got != "1.0ms" {
+		t.Errorf("single fmtDurs = %q", got)
+	}
+	got := fmtDurs([]time.Duration{time.Millisecond, 3 * time.Millisecond})
+	if !strings.HasPrefix(got, "2.0±") {
+		t.Errorf("multi fmtDurs = %q", got)
+	}
+}
+
+func TestLoadDatasetDeterministicAndSplit(t *testing.T) {
+	p := Fast()
+	a := loadDataset("IMDB", p, 7)
+	b := loadDataset("IMDB", p, 7)
+	if len(a.train) != len(b.train) || a.train[0].SQL != b.train[0].SQL {
+		t.Error("dataset loading not deterministic")
+	}
+	if len(a.train) == 0 || len(a.test) == 0 {
+		t.Error("split produced empty side")
+	}
+	// Train and test are disjoint.
+	seen := map[string]bool{}
+	for _, q := range a.train {
+		seen[q.SQL] = true
+	}
+	for _, q := range a.test {
+		if seen[q.SQL] {
+			t.Errorf("query %q in both train and test", q.SQL)
+		}
+	}
+	for _, name := range []string{"MAS", "FLIGHTS"} {
+		ds := loadDataset(name, p, 7)
+		if ds.db.TotalRows() == 0 {
+			t.Errorf("%s dataset empty", name)
+		}
+	}
+}
+
+func TestQueryAvgEmptyWorkload(t *testing.T) {
+	p := Fast()
+	ds := loadDataset("IMDB", p, 1)
+	if d := queryAvg(ds.db, nil, 5); d != 0 {
+		t.Errorf("empty workload queryAvg = %v", d)
+	}
+	if d := queryAvg(ds.db, ds.test, 3); d <= 0 {
+		t.Errorf("queryAvg = %v, want > 0", d)
+	}
+}
+
+func TestDelayedFlightsInterestShape(t *testing.T) {
+	w := delayedFlightsInterest(3)
+	if len(w) != 20 {
+		t.Fatalf("interest queries = %d, want 20", len(w))
+	}
+	for _, q := range w {
+		if !strings.Contains(q.SQL, "delay") {
+			t.Errorf("interest query off-topic: %s", q.SQL)
+		}
+	}
+}
+
+func TestWorkloadCopyIndependence(t *testing.T) {
+	p := Fast()
+	ds := loadDataset("IMDB", p, 1)
+	cp := workloadCopy(ds.train)
+	cp[0].Weight = 99
+	if ds.train[0].Weight == 99 {
+		t.Error("workloadCopy shares backing array entries")
+	}
+}

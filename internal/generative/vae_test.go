@@ -1,0 +1,162 @@
+package generative
+
+import (
+	"math"
+	"testing"
+
+	"asqprl/internal/datagen"
+	"asqprl/internal/engine"
+	"asqprl/internal/table"
+)
+
+func flightsTable() *table.Table {
+	return datagen.Flights(0.01, 3).Table("flights")
+}
+
+func fastOpts() Options {
+	return Options{Epochs: 10, BatchRows: 500, Seed: 1}
+}
+
+func TestTrainVAEAndGenerate(t *testing.T) {
+	tab := flightsTable()
+	v, err := TrainVAE(tab, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := v.Generate(100)
+	if gen.NumRows() != 100 {
+		t.Fatalf("generated %d rows", gen.NumRows())
+	}
+	if gen.Schema.String() != tab.Schema.String() {
+		t.Errorf("schema mismatch: %s vs %s", gen.Schema, tab.Schema)
+	}
+	// Generated categorical values come from the real domain.
+	ci := gen.ColumnIndex("carrier")
+	valid := map[string]bool{}
+	ti := tab.ColumnIndex("carrier")
+	for _, r := range tab.Rows {
+		valid[r[ti].Str] = true
+	}
+	for _, r := range gen.Rows {
+		if !valid[r[ci].Str] {
+			t.Fatalf("generated unseen carrier %q", r[ci].Str)
+		}
+	}
+	// Generated numerics stay in a plausible range (within 5 sigma-ish).
+	di := gen.ColumnIndex("distance")
+	for _, r := range gen.Rows {
+		d := r[di].AsFloat()
+		if d < -5000 || d > 50000 {
+			t.Fatalf("generated wild distance %v", d)
+		}
+	}
+}
+
+func TestVAETrainingReducesReconstructionError(t *testing.T) {
+	tab := flightsTable()
+	short, err := TrainVAE(tab, Options{Epochs: 1, BatchRows: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := TrainVAE(tab, Options{Epochs: 25, BatchRows: 400, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eShort := short.ReconstructionError(tab, 200)
+	eLong := long.ReconstructionError(tab, 200)
+	t.Logf("reconstruction error: 1 epoch %.4f, 25 epochs %.4f", eShort, eLong)
+	if eLong >= eShort {
+		t.Errorf("training should reduce reconstruction error: %.4f -> %.4f", eShort, eLong)
+	}
+}
+
+func TestVAEEmptyTableErrors(t *testing.T) {
+	empty := table.New("e", table.Schema{{Name: "a", Kind: table.KindInt}})
+	if _, err := TrainVAE(empty, fastOpts()); err == nil {
+		t.Error("empty table should error")
+	}
+}
+
+func TestGenerateDatabaseProportions(t *testing.T) {
+	db := datagen.IMDB(0.01, 3)
+	gen, err := GenerateDatabase(db, 300, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := gen.TotalRows()
+	if total == 0 || total > 330 {
+		t.Fatalf("generated %d rows, want <= ~300", total)
+	}
+	// Proportionality: the biggest table stays the biggest.
+	if gen.Table("cast_info").NumRows() < gen.Table("name").NumRows() {
+		t.Error("proportions not preserved")
+	}
+	// All tables exist (even if empty) so queries still parse/execute.
+	for _, n := range db.TableNames() {
+		if gen.Table(n) == nil {
+			t.Errorf("missing table %s", n)
+		}
+	}
+}
+
+// TestGeneratedTuplesFailSelectiveJoins reproduces the paper's core
+// observation about generative AQP for non-aggregate queries: synthetic
+// tuples rarely satisfy selective filters and joins, so SPJ results over
+// generated data are poor (near-zero Figure 2 scores for VAE).
+func TestGeneratedTuplesFailSelectiveJoins(t *testing.T) {
+	db := datagen.IMDB(0.02, 3)
+	gen, err := GenerateDatabase(db, 500, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A join query: generated ids almost never match across tables.
+	q := "SELECT t.title FROM title t JOIN cast_info c ON t.id = c.title_id WHERE t.genre = 'drama'"
+	full, err := engine.ExecuteSQL(db, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genRes, err := engine.ExecuteSQL(gen, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Table.NumRows() == 0 {
+		t.Skip("degenerate dataset")
+	}
+	ratio := float64(genRes.Table.NumRows()) / float64(full.Table.NumRows())
+	t.Logf("join rows: generated %d vs real %d", genRes.Table.NumRows(), full.Table.NumRows())
+	if ratio > 0.5 {
+		t.Errorf("generated data satisfies joins suspiciously well (ratio %.2f)", ratio)
+	}
+}
+
+func TestVAEDeterministicGivenSeed(t *testing.T) {
+	tab := flightsTable()
+	g1, err := TrainVAE(tab, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := TrainVAE(tab, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g1.Generate(10), g2.Generate(10)
+	for i := range a.Rows {
+		if a.Rows[i].Key() != b.Rows[i].Key() {
+			t.Fatal("same seed should generate identical tuples")
+		}
+	}
+}
+
+func TestReconstructionErrorFinite(t *testing.T) {
+	tab := flightsTable()
+	v, err := TrainVAE(tab, fastOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e := v.ReconstructionError(tab, 100); math.IsNaN(e) || math.IsInf(e, 0) {
+		t.Errorf("reconstruction error not finite: %v", e)
+	}
+	if v.TableName() != "flights" {
+		t.Errorf("table name %q", v.TableName())
+	}
+}

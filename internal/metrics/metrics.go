@@ -1,0 +1,243 @@
+// Package metrics implements the evaluation measures of the paper: the
+// approximation-set quality metric score(𝒮) (Equation 1), the relative error
+// used for aggregate queries (Equation 2), pairwise-Jaccard result diversity
+// (Section 6.2), and precision/recall for the answerability estimator.
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"asqprl/internal/engine"
+	"asqprl/internal/table"
+	"asqprl/internal/workload"
+)
+
+// Score computes Equation 1 of the paper:
+//
+//	score(𝒮) = (1/|Q|) Σ_q w(q) · min(1, |q(𝒮)| / min(F, |q(𝒯)|))
+//
+// full is the complete database 𝒯 and approx the materialized approximation
+// set 𝒮. Queries that fail on either database contribute zero (and the first
+// error is returned alongside the partial score).
+//
+// Note the paper normalizes by |Q| while also using weights that sum to 1;
+// with uniform weights this makes the maximum attainable score 1/|Q|. Like
+// the paper's own evaluation (which reports scores near 1), we interpret the
+// leading 1/|Q| as already folded into the normalized weights.
+func Score(full, approx *table.Database, w workload.Workload, frameSize int) (float64, error) {
+	scores, err := PerQueryScores(full, approx, w, frameSize)
+	if scores == nil {
+		return 0, err
+	}
+	var total float64
+	for i, q := range w {
+		total += q.Weight * scores[i]
+	}
+	return total, err
+}
+
+// PerQueryScores returns each query's unweighted score component
+// min(1, |q(S)| / min(F, |q(T)|)). Failed queries score 0.
+func PerQueryScores(full, approx *table.Database, w workload.Workload, frameSize int) ([]float64, error) {
+	if frameSize <= 0 {
+		return nil, fmt.Errorf("metrics: frame size must be positive, got %d", frameSize)
+	}
+	scores := make([]float64, len(w))
+	var firstErr error
+	for i, q := range w {
+		fullCount, err := engine.Count(full, q.Stmt)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("metrics: query %q on full db: %w", q.SQL, err)
+			}
+			continue
+		}
+		if fullCount == 0 {
+			// A query with an empty true answer is trivially answered.
+			scores[i] = 1
+			continue
+		}
+		approxCount, err := engine.Count(approx, q.Stmt)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("metrics: query %q on approximation set: %w", q.SQL, err)
+			}
+			continue
+		}
+		denom := frameSize
+		if fullCount < denom {
+			denom = fullCount
+		}
+		scores[i] = math.Min(1, float64(approxCount)/float64(denom))
+	}
+	return scores, firstErr
+}
+
+// RelativeError computes |pred − truth| / |truth| (Equation 2). When truth
+// is zero, it returns 0 for an exact match and 1 otherwise, matching the
+// paper's convention for missing groups.
+func RelativeError(pred, truth float64) float64 {
+	if truth == 0 {
+		if pred == 0 {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(pred-truth) / math.Abs(truth)
+}
+
+// GroupRelativeError compares two aggregate results keyed by group. Groups
+// missing from pred contribute an error of 1 (complete mismatch), matching
+// Section 6.4. Extra groups in pred are ignored, as the paper's metric is
+// defined over the true groups.
+func GroupRelativeError(pred, truth map[string]float64) float64 {
+	if len(truth) == 0 {
+		return 0
+	}
+	var total float64
+	for g, tv := range truth {
+		pv, ok := pred[g]
+		if !ok {
+			total += 1
+			continue
+		}
+		e := RelativeError(pv, tv)
+		if e > 1 {
+			e = 1
+		}
+		total += e
+	}
+	return total / float64(len(truth))
+}
+
+// JaccardDiversity measures result diversity as the mean pairwise Jaccard
+// distance between the row sets of consecutive query answers, following the
+// diversity comparison of Section 6.2. Each result is represented by its set
+// of row keys. Returns 0 for fewer than two results.
+func JaccardDiversity(results [][]string) float64 {
+	if len(results) < 2 {
+		return 0
+	}
+	sets := make([]map[string]bool, len(results))
+	for i, r := range results {
+		s := make(map[string]bool, len(r))
+		for _, k := range r {
+			s[k] = true
+		}
+		sets[i] = s
+	}
+	var total float64
+	pairs := 0
+	for i := 0; i < len(sets); i++ {
+		for j := i + 1; j < len(sets); j++ {
+			total += jaccardDistance(sets[i], sets[j])
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}
+
+func jaccardDistance(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	for k := range a {
+		if b[k] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return 1 - float64(inter)/float64(union)
+}
+
+// RowKeys extracts the row keys of a result table, for JaccardDiversity.
+func RowKeys(t *table.Table) []string {
+	out := make([]string, t.NumRows())
+	for i, r := range t.Rows {
+		out[i] = r.Key()
+	}
+	return out
+}
+
+// IntraResultDiversity measures how diverse the rows *within* one query
+// answer are: the mean pairwise Jaccard distance between the rows' value
+// sets, as in the paper's Section 6.2 diversity comparison (a full-database
+// answer has a fixed intrinsic diversity; a good approximation set should
+// preserve it rather than collapse onto near-duplicate tuples). Returns 0
+// for fewer than two rows. At most maxRows rows are compared (0 = all).
+func IntraResultDiversity(t *table.Table, maxRows int) float64 {
+	n := t.NumRows()
+	if maxRows > 0 && n > maxRows {
+		n = maxRows
+	}
+	if n < 2 {
+		return 0
+	}
+	sets := make([]map[string]bool, n)
+	for i := 0; i < n; i++ {
+		s := make(map[string]bool, len(t.Rows[i]))
+		for _, v := range t.Rows[i] {
+			s[v.Key()] = true
+		}
+		sets[i] = s
+	}
+	var total float64
+	pairs := 0
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			total += jaccardDistance(sets[i], sets[j])
+			pairs++
+		}
+	}
+	return total / float64(pairs)
+}
+
+// PrecisionRecall compares boolean predictions against truth.
+func PrecisionRecall(predicted, actual []bool) (precision, recall float64) {
+	var tp, fp, fn int
+	for i := range predicted {
+		switch {
+		case predicted[i] && actual[i]:
+			tp++
+		case predicted[i] && !actual[i]:
+			fp++
+		case !predicted[i] && actual[i]:
+			fn++
+		}
+	}
+	if tp+fp > 0 {
+		precision = float64(tp) / float64(tp+fp)
+	}
+	if tp+fn > 0 {
+		recall = float64(tp) / float64(tp+fn)
+	}
+	return precision, recall
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var v float64
+	for _, x := range xs {
+		d := x - m
+		v += d * d
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}

@@ -1,0 +1,64 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Micro-benchmarks at the shapes ASQP-RL actually uses: 26-dim coverage
+// state → 64×64 hidden → 512-way action logits.
+
+func benchNet() *MLP {
+	return NewMLP(rand.New(rand.NewSource(1)), ActTanh, 26, 64, 64, 512)
+}
+
+func BenchmarkForward(b *testing.B) {
+	m := benchNet()
+	x := make([]float64, 26)
+	for i := range x {
+		x[i] = 0.5
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Forward(x)
+	}
+}
+
+func BenchmarkForwardBackward(b *testing.B) {
+	m := benchNet()
+	g := m.NewGrads()
+	x := make([]float64, 26)
+	dOut := make([]float64, 512)
+	dOut[3] = 1
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cache := m.ForwardCache(x)
+		m.Backward(cache, dOut, g)
+	}
+}
+
+func BenchmarkAdamStep(b *testing.B) {
+	m := benchNet()
+	g := m.NewGrads()
+	opt := NewAdam(m, 1e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		opt.Step(m, g)
+	}
+}
+
+func BenchmarkMaskedSoftmax(b *testing.B) {
+	logits := make([]float64, 512)
+	mask := make([]bool, 512)
+	for i := range logits {
+		logits[i] = float64(i%13) * 0.1
+		mask[i] = i%3 != 0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Softmax(MaskLogits(logits, mask))
+	}
+}

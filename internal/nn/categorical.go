@@ -1,0 +1,145 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// negInf is used to mask invalid logits.
+var negInf = math.Inf(-1)
+
+// MaskLogits returns a copy of logits with invalid entries (mask[i] == false)
+// set to -Inf. A nil mask returns logits unchanged (no copy).
+func MaskLogits(logits []float64, mask []bool) []float64 {
+	if mask == nil {
+		return logits
+	}
+	out := make([]float64, len(logits))
+	for i, l := range logits {
+		if mask[i] {
+			out[i] = l
+		} else {
+			out[i] = negInf
+		}
+	}
+	return out
+}
+
+// LogSumExp computes log Σ exp(x_i) stably. All -Inf input yields -Inf.
+func LogSumExp(x []float64) float64 {
+	max := negInf
+	for _, v := range x {
+		if v > max {
+			max = v
+		}
+	}
+	if math.IsInf(max, -1) {
+		return negInf
+	}
+	var sum float64
+	for _, v := range x {
+		sum += math.Exp(v - max)
+	}
+	return max + math.Log(sum)
+}
+
+// Softmax returns the softmax distribution of logits. Entries at -Inf get
+// probability zero. If every entry is -Inf the result is all zeros.
+func Softmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	lse := LogSumExp(logits)
+	if math.IsInf(lse, -1) {
+		return out
+	}
+	for i, l := range logits {
+		if math.IsInf(l, -1) {
+			out[i] = 0
+		} else {
+			out[i] = math.Exp(l - lse)
+		}
+	}
+	return out
+}
+
+// LogSoftmax returns log-probabilities for logits (−Inf where masked).
+func LogSoftmax(logits []float64) []float64 {
+	out := make([]float64, len(logits))
+	lse := LogSumExp(logits)
+	for i, l := range logits {
+		if math.IsInf(l, -1) || math.IsInf(lse, -1) {
+			out[i] = negInf
+		} else {
+			out[i] = l - lse
+		}
+	}
+	return out
+}
+
+// SampleCategorical draws an index from probability distribution p. It
+// panics if p sums to zero.
+func SampleCategorical(p []float64, rng *rand.Rand) int {
+	var total float64
+	for _, v := range p {
+		total += v
+	}
+	if total <= 0 {
+		panic("nn: SampleCategorical over zero-mass distribution")
+	}
+	r := rng.Float64() * total
+	for i, v := range p {
+		r -= v
+		if r <= 0 && v > 0 {
+			return i
+		}
+	}
+	// Floating-point slack: return last positive entry.
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] > 0 {
+			return i
+		}
+	}
+	return 0
+}
+
+// Argmax returns the index of the largest value (first on ties), or -1 for
+// empty input.
+func Argmax(x []float64) int {
+	best, bestV := -1, negInf
+	for i, v := range x {
+		if v > bestV {
+			best, bestV = i, v
+		}
+	}
+	return best
+}
+
+// Entropy returns the Shannon entropy (nats) of distribution p.
+func Entropy(p []float64) float64 {
+	var h float64
+	for _, v := range p {
+		if v > 0 {
+			h -= v * math.Log(v)
+		}
+	}
+	return h
+}
+
+// KL returns the Kullback-Leibler divergence KL(p || q) in nats, treating
+// 0·log(0/q) as 0. Entries where q is zero but p is positive contribute a
+// large finite penalty rather than +Inf, keeping optimization stable.
+func KL(p, q []float64) float64 {
+	const cap = 30 // e^-30 floor on q
+	var d float64
+	for i, pi := range p {
+		if pi <= 0 {
+			continue
+		}
+		qi := q[i]
+		if qi <= 0 {
+			d += pi * cap
+			continue
+		}
+		d += pi * math.Log(pi/qi)
+	}
+	return d
+}

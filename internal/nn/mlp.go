@@ -1,0 +1,266 @@
+// Package nn is a small, dependency-free neural-network library: multi-layer
+// perceptrons with tanh/ReLU hidden activations, manual backpropagation, SGD
+// and Adam optimizers, and the categorical helpers (softmax, masking,
+// sampling) that the RL agents in internal/rl are built from.
+//
+// The library is deliberately minimal — dense layers only — because that is
+// exactly what the paper's actor and critic networks are: "a large input
+// layer matching the action space's size, followed by smaller fully-connected
+// layers" (Section 5.1).
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Activation selects the hidden-layer nonlinearity of an MLP. The output
+// layer is always linear (softmax, when needed, is applied by the caller).
+type Activation uint8
+
+const (
+	// ActTanh uses tanh hidden units.
+	ActTanh Activation = iota
+	// ActReLU uses rectified linear hidden units.
+	ActReLU
+)
+
+// MLP is a fully-connected feed-forward network. Weight matrices are stored
+// row-major: W[l][o*in+i] is the weight from input i to output o of layer l.
+// Fields are exported for gob serialization.
+type MLP struct {
+	Sizes []int // layer widths, input first
+	Act   Activation
+	W     [][]float64
+	B     [][]float64
+}
+
+// NewMLP constructs a network with the given layer sizes (at least two:
+// input and output), initialized with scaled Gaussian weights (Xavier for
+// tanh, He for ReLU) drawn from rng.
+func NewMLP(rng *rand.Rand, act Activation, sizes ...int) *MLP {
+	if len(sizes) < 2 {
+		panic(fmt.Sprintf("nn: NewMLP needs >= 2 layer sizes, got %v", sizes))
+	}
+	for _, s := range sizes {
+		if s <= 0 {
+			panic(fmt.Sprintf("nn: invalid layer size in %v", sizes))
+		}
+	}
+	m := &MLP{Sizes: append([]int(nil), sizes...), Act: act}
+	for l := 0; l < len(sizes)-1; l++ {
+		in, out := sizes[l], sizes[l+1]
+		scale := math.Sqrt(1.0 / float64(in)) // Xavier
+		if act == ActReLU {
+			scale = math.Sqrt(2.0 / float64(in)) // He
+		}
+		w := make([]float64, in*out)
+		for i := range w {
+			w[i] = rng.NormFloat64() * scale
+		}
+		m.W = append(m.W, w)
+		m.B = append(m.B, make([]float64, out))
+	}
+	return m
+}
+
+// Layers returns the number of weight layers.
+func (m *MLP) Layers() int { return len(m.W) }
+
+// InputDim returns the expected input width.
+func (m *MLP) InputDim() int { return m.Sizes[0] }
+
+// OutputDim returns the output width.
+func (m *MLP) OutputDim() int { return m.Sizes[len(m.Sizes)-1] }
+
+// NumParams returns the total number of trainable parameters.
+func (m *MLP) NumParams() int {
+	n := 0
+	for l := range m.W {
+		n += len(m.W[l]) + len(m.B[l])
+	}
+	return n
+}
+
+func (m *MLP) activate(z float64) float64 {
+	if m.Act == ActReLU {
+		if z > 0 {
+			return z
+		}
+		return 0
+	}
+	return math.Tanh(z)
+}
+
+// activateGrad returns dA/dz given the post-activation value a.
+func (m *MLP) activateGrad(a float64) float64 {
+	if m.Act == ActReLU {
+		if a > 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - a*a
+}
+
+// Cache stores the intermediate activations of one forward pass, for use by
+// Backward. As[0] is the input; As[L] is the (linear) output.
+type Cache struct {
+	As [][]float64
+}
+
+// Output returns the network output stored in the cache.
+func (c *Cache) Output() []float64 { return c.As[len(c.As)-1] }
+
+// Forward computes the network output for input x.
+func (m *MLP) Forward(x []float64) []float64 {
+	return m.ForwardCache(x).Output()
+}
+
+// ForwardCache computes the output, retaining activations for Backward.
+func (m *MLP) ForwardCache(x []float64) *Cache {
+	if len(x) != m.InputDim() {
+		panic(fmt.Sprintf("nn: input dim %d, want %d", len(x), m.InputDim()))
+	}
+	c := &Cache{As: make([][]float64, m.Layers()+1)}
+	c.As[0] = x
+	cur := x
+	for l := 0; l < m.Layers(); l++ {
+		in, out := m.Sizes[l], m.Sizes[l+1]
+		next := make([]float64, out)
+		w, b := m.W[l], m.B[l]
+		for o := 0; o < out; o++ {
+			z := b[o]
+			row := w[o*in : (o+1)*in]
+			for i, xi := range cur {
+				z += row[i] * xi
+			}
+			if l < m.Layers()-1 {
+				z = m.activate(z)
+			}
+			next[o] = z
+		}
+		c.As[l+1] = next
+		cur = next
+	}
+	return c
+}
+
+// Grads accumulates parameter gradients with the same shapes as the MLP.
+type Grads struct {
+	W [][]float64
+	B [][]float64
+}
+
+// NewGrads allocates a zeroed gradient accumulator for m.
+func (m *MLP) NewGrads() *Grads {
+	g := &Grads{}
+	for l := range m.W {
+		g.W = append(g.W, make([]float64, len(m.W[l])))
+		g.B = append(g.B, make([]float64, len(m.B[l])))
+	}
+	return g
+}
+
+// Zero resets all gradients to zero.
+func (g *Grads) Zero() {
+	for l := range g.W {
+		for i := range g.W[l] {
+			g.W[l][i] = 0
+		}
+		for i := range g.B[l] {
+			g.B[l][i] = 0
+		}
+	}
+}
+
+// Scale multiplies all gradients by f.
+func (g *Grads) Scale(f float64) {
+	for l := range g.W {
+		for i := range g.W[l] {
+			g.W[l][i] *= f
+		}
+		for i := range g.B[l] {
+			g.B[l][i] *= f
+		}
+	}
+}
+
+// Add accumulates other into g.
+func (g *Grads) Add(other *Grads) {
+	for l := range g.W {
+		for i := range g.W[l] {
+			g.W[l][i] += other.W[l][i]
+		}
+		for i := range g.B[l] {
+			g.B[l][i] += other.B[l][i]
+		}
+	}
+}
+
+// Backward backpropagates dOut (the gradient of the loss with respect to the
+// network's linear output) through the cached forward pass, accumulating
+// parameter gradients into g. It returns the gradient with respect to the
+// input.
+func (m *MLP) Backward(c *Cache, dOut []float64, g *Grads) []float64 {
+	if len(dOut) != m.OutputDim() {
+		panic(fmt.Sprintf("nn: dOut dim %d, want %d", len(dOut), m.OutputDim()))
+	}
+	delta := append([]float64(nil), dOut...)
+	for l := m.Layers() - 1; l >= 0; l-- {
+		in := m.Sizes[l]
+		aIn := c.As[l]
+		w := m.W[l]
+		// Parameter gradients.
+		for o, d := range delta {
+			g.B[l][o] += d
+			row := g.W[l][o*in : (o+1)*in]
+			for i, a := range aIn {
+				row[i] += d * a
+			}
+		}
+		if l == 0 {
+			// Input gradient.
+			dIn := make([]float64, in)
+			for o, d := range delta {
+				row := w[o*in : (o+1)*in]
+				for i := range dIn {
+					dIn[i] += d * row[i]
+				}
+			}
+			return dIn
+		}
+		// Propagate through weights and the previous layer's activation.
+		prev := make([]float64, in)
+		for o, d := range delta {
+			row := w[o*in : (o+1)*in]
+			for i := range prev {
+				prev[i] += d * row[i]
+			}
+		}
+		for i := range prev {
+			prev[i] *= m.activateGrad(aIn[i])
+		}
+		delta = prev
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the network.
+func (m *MLP) Clone() *MLP {
+	cp := &MLP{Sizes: append([]int(nil), m.Sizes...), Act: m.Act}
+	for l := range m.W {
+		cp.W = append(cp.W, append([]float64(nil), m.W[l]...))
+		cp.B = append(cp.B, append([]float64(nil), m.B[l]...))
+	}
+	return cp
+}
+
+// CopyFrom copies parameters from src (shapes must match).
+func (m *MLP) CopyFrom(src *MLP) {
+	for l := range m.W {
+		copy(m.W[l], src.W[l])
+		copy(m.B[l], src.B[l])
+	}
+}

@@ -1,0 +1,98 @@
+package nn
+
+import "math"
+
+// Optimizer applies accumulated gradients to an MLP's parameters.
+type Optimizer interface {
+	Step(m *MLP, g *Grads)
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	vW, vB   [][]float64
+}
+
+// NewSGD constructs an SGD optimizer for m.
+func NewSGD(m *MLP, lr, momentum float64) *SGD {
+	s := &SGD{LR: lr, Momentum: momentum}
+	for l := range m.W {
+		s.vW = append(s.vW, make([]float64, len(m.W[l])))
+		s.vB = append(s.vB, make([]float64, len(m.B[l])))
+	}
+	return s
+}
+
+// Step applies one gradient-descent update (minimizing the loss whose
+// gradient is g).
+func (s *SGD) Step(m *MLP, g *Grads) {
+	for l := range m.W {
+		for i := range m.W[l] {
+			s.vW[l][i] = s.Momentum*s.vW[l][i] - s.LR*g.W[l][i]
+			m.W[l][i] += s.vW[l][i]
+		}
+		for i := range m.B[l] {
+			s.vB[l][i] = s.Momentum*s.vB[l][i] - s.LR*g.B[l][i]
+			m.B[l][i] += s.vB[l][i]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba).
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+	t                     int
+	mW, vW, mB, vB        [][]float64
+}
+
+// NewAdam constructs an Adam optimizer for m with standard betas.
+func NewAdam(m *MLP, lr float64) *Adam {
+	a := &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	for l := range m.W {
+		a.mW = append(a.mW, make([]float64, len(m.W[l])))
+		a.vW = append(a.vW, make([]float64, len(m.W[l])))
+		a.mB = append(a.mB, make([]float64, len(m.B[l])))
+		a.vB = append(a.vB, make([]float64, len(m.B[l])))
+	}
+	return a
+}
+
+// Step applies one Adam update (minimizing the loss whose gradient is g).
+func (a *Adam) Step(m *MLP, g *Grads) {
+	a.t++
+	c1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	c2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	update := func(p, gr, mo, ve []float64) {
+		for i := range p {
+			mo[i] = a.Beta1*mo[i] + (1-a.Beta1)*gr[i]
+			ve[i] = a.Beta2*ve[i] + (1-a.Beta2)*gr[i]*gr[i]
+			mHat := mo[i] / c1
+			vHat := ve[i] / c2
+			p[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+	for l := range m.W {
+		update(m.W[l], g.W[l], a.mW[l], a.vW[l])
+		update(m.B[l], g.B[l], a.mB[l], a.vB[l])
+	}
+}
+
+// ClipGrads rescales g in place so its global L2 norm does not exceed max.
+// It returns the pre-clip norm.
+func ClipGrads(g *Grads, max float64) float64 {
+	var sum float64
+	for l := range g.W {
+		for _, v := range g.W[l] {
+			sum += v * v
+		}
+		for _, v := range g.B[l] {
+			sum += v * v
+		}
+	}
+	norm := math.Sqrt(sum)
+	if max > 0 && norm > max {
+		g.Scale(max / norm)
+	}
+	return norm
+}

@@ -1,0 +1,47 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Save writes the network parameters to w in gob format.
+func (m *MLP) Save(w io.Writer) error {
+	if err := gob.NewEncoder(w).Encode(m); err != nil {
+		return fmt.Errorf("nn: save: %w", err)
+	}
+	return nil
+}
+
+// Load reads a network previously written by Save.
+func Load(r io.Reader) (*MLP, error) {
+	var m MLP
+	if err := gob.NewDecoder(r).Decode(&m); err != nil {
+		return nil, fmt.Errorf("nn: load: %w", err)
+	}
+	if len(m.Sizes) < 2 || len(m.W) != len(m.Sizes)-1 || len(m.B) != len(m.W) {
+		return nil, fmt.Errorf("nn: load: inconsistent network shape")
+	}
+	for l := range m.W {
+		if len(m.W[l]) != m.Sizes[l]*m.Sizes[l+1] || len(m.B[l]) != m.Sizes[l+1] {
+			return nil, fmt.Errorf("nn: load: layer %d has wrong parameter count", l)
+		}
+	}
+	return &m, nil
+}
+
+// Marshal serializes the network to bytes.
+func (m *MLP) Marshal() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := m.Save(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal deserializes a network from bytes produced by Marshal.
+func Unmarshal(data []byte) (*MLP, error) {
+	return Load(bytes.NewReader(data))
+}

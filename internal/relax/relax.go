@@ -1,0 +1,176 @@
+// Package relax implements query relaxation (Section 4.2 of the paper):
+// loosening query conditions so the result set grows, pulling tuples beyond
+// the exact workload answers into the RL action space and helping the learned
+// approximation set generalize to future, unseen queries.
+//
+// The relaxations applied are:
+//   - numeric comparisons widen by a configurable factor of the constant's
+//     magnitude (a > c becomes a > c - f·|c|, etc.);
+//   - numeric equality becomes a BETWEEN window around the constant;
+//   - BETWEEN intervals widen symmetrically by a factor of their width;
+//   - LIKE 'prefix%' patterns lose their last literal character;
+//   - optionally, the most selective conjunct is dropped entirely.
+package relax
+
+import (
+	"math"
+
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+)
+
+// Options controls how aggressively queries are relaxed.
+type Options struct {
+	// Factor is the relative widening applied to numeric predicates.
+	// 0.25 means a range grows by 25% of its magnitude on each side.
+	// Zero means the default of 0.25.
+	Factor float64
+	// DropConjunct, when true, also removes one conjunct from the WHERE
+	// clause (the one estimated most selective: equality before LIKE before
+	// ranges), producing a strictly more general query.
+	DropConjunct bool
+}
+
+func (o Options) factor() float64 {
+	if o.Factor <= 0 {
+		return 0.25
+	}
+	return o.Factor
+}
+
+// Relax returns a relaxed copy of stmt. The original statement is not
+// modified. LIMIT clauses are removed, since relaxation exists to enlarge the
+// observable result set.
+func Relax(stmt *sqlparse.Select, opts Options) *sqlparse.Select {
+	out := stmt.Clone()
+	out.Limit = -1
+	if out.Where == nil {
+		return out
+	}
+	conjuncts := sqlparse.Conjuncts(out.Where)
+	relaxed := make([]sqlparse.Expr, 0, len(conjuncts))
+	for _, c := range conjuncts {
+		relaxed = append(relaxed, relaxExpr(c, opts.factor()))
+	}
+	if opts.DropConjunct && len(relaxed) > 1 {
+		drop := mostSelectiveIndex(relaxed)
+		relaxed = append(relaxed[:drop], relaxed[drop+1:]...)
+	}
+	out.Where = sqlparse.AndAll(relaxed)
+	return out
+}
+
+// relaxExpr relaxes one predicate. Join predicates (column = column) and
+// predicates it does not understand are returned unchanged.
+func relaxExpr(e sqlparse.Expr, factor float64) sqlparse.Expr {
+	switch x := e.(type) {
+	case *sqlparse.Binary:
+		col, isColLeft := x.Left.(*sqlparse.ColumnRef)
+		lit, isLitRight := x.Right.(*sqlparse.Literal)
+		if !isColLeft || !isLitRight || !lit.Value.IsNumeric() {
+			return e
+		}
+		c := lit.Value.AsFloat()
+		delta := widen(c, factor)
+		switch x.Op {
+		case ">", ">=":
+			return &sqlparse.Binary{Op: x.Op, Left: col.CloneExpr(), Right: numLit(c-delta, lit.Value.Kind)}
+		case "<", "<=":
+			return &sqlparse.Binary{Op: x.Op, Left: col.CloneExpr(), Right: numLit(c+delta, lit.Value.Kind)}
+		case "=":
+			return &sqlparse.Between{
+				X:  col.CloneExpr(),
+				Lo: numLit(c-delta, lit.Value.Kind),
+				Hi: numLit(c+delta, lit.Value.Kind),
+			}
+		default:
+			return e
+		}
+	case *sqlparse.Between:
+		lo, okLo := x.Lo.(*sqlparse.Literal)
+		hi, okHi := x.Hi.(*sqlparse.Literal)
+		if x.Not || !okLo || !okHi || !lo.Value.IsNumeric() || !hi.Value.IsNumeric() {
+			return e
+		}
+		a, b := lo.Value.AsFloat(), hi.Value.AsFloat()
+		width := b - a
+		if width <= 0 {
+			width = math.Max(math.Abs(a), 1)
+		}
+		delta := width * factor
+		return &sqlparse.Between{
+			X:  x.X.CloneExpr(),
+			Lo: numLit(a-delta, lo.Value.Kind),
+			Hi: numLit(b+delta, hi.Value.Kind),
+		}
+	case *sqlparse.Like:
+		if x.Not {
+			return e
+		}
+		// Shorten 'prefix%' to 'prefi%'.
+		p := x.Pattern
+		if len(p) >= 3 && p[len(p)-1] == '%' && p[len(p)-2] != '%' && p[len(p)-2] != '_' {
+			return &sqlparse.Like{X: x.X.CloneExpr(), Pattern: p[:len(p)-2] + "%"}
+		}
+		return e
+	default:
+		return e
+	}
+}
+
+// widen computes the absolute widening for a constant c.
+func widen(c, factor float64) float64 {
+	m := math.Abs(c)
+	if m < 1 {
+		m = 1
+	}
+	return m * factor
+}
+
+// numLit builds a literal preserving integer-ness where possible.
+func numLit(v float64, kind table.Kind) *sqlparse.Literal {
+	if kind == table.KindInt {
+		return &sqlparse.Literal{Value: table.NewInt(int64(math.Round(v)))}
+	}
+	return &sqlparse.Literal{Value: table.NewFloat(v)}
+}
+
+// mostSelectiveIndex heuristically picks the conjunct to drop: string
+// equality first (most selective), then IN, LIKE, numeric equality, ranges.
+func mostSelectiveIndex(conjuncts []sqlparse.Expr) int {
+	best, bestScore := 0, -1
+	for i, c := range conjuncts {
+		score := selectivityRank(c)
+		if score > bestScore {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+func selectivityRank(e sqlparse.Expr) int {
+	switch x := e.(type) {
+	case *sqlparse.Binary:
+		if x.Op == "=" {
+			if _, isCol := x.Right.(*sqlparse.ColumnRef); isCol {
+				return -1 // join predicate: never drop
+			}
+			if lit, ok := x.Right.(*sqlparse.Literal); ok && lit.Value.Kind == table.KindString {
+				return 5
+			}
+			return 4
+		}
+		if x.Op == "AND" || x.Op == "OR" {
+			return 1
+		}
+		return 2
+	case *sqlparse.In:
+		return 4
+	case *sqlparse.Like:
+		return 3
+	case *sqlparse.Between:
+		return 2
+	default:
+		return 0
+	}
+}

@@ -1,0 +1,203 @@
+package relax
+
+import (
+	"strings"
+	"testing"
+
+	"asqprl/internal/engine"
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+)
+
+func numbersDB() *table.Database {
+	t := table.New("nums", table.Schema{
+		{Name: "v", Kind: table.KindInt},
+		{Name: "name", Kind: table.KindString},
+	})
+	names := []string{"apple", "apricot", "banana", "berry", "cherry"}
+	for i := 0; i < 100; i++ {
+		t.AppendRow(table.Row{table.NewInt(int64(i)), table.NewString(names[i%len(names)])})
+	}
+	db := table.NewDatabase()
+	db.Add(t)
+	return db
+}
+
+// resultCount executes stmt and returns the row count.
+func resultCount(t *testing.T, db *table.Database, stmt *sqlparse.Select) int {
+	t.Helper()
+	n, err := engine.Count(db, stmt)
+	if err != nil {
+		t.Fatalf("count %s: %v", stmt, err)
+	}
+	return n
+}
+
+// TestRelaxationEnlargesResults is the core contract: a relaxed query's
+// result is a superset (here: at least as large) for monotone predicates.
+func TestRelaxationEnlargesResults(t *testing.T) {
+	db := numbersDB()
+	queries := []string{
+		"SELECT * FROM nums WHERE v > 50",
+		"SELECT * FROM nums WHERE v < 20",
+		"SELECT * FROM nums WHERE v >= 80",
+		"SELECT * FROM nums WHERE v BETWEEN 40 AND 60",
+		"SELECT * FROM nums WHERE v = 30",
+		"SELECT * FROM nums WHERE v > 10 AND v < 30",
+	}
+	for _, q := range queries {
+		stmt := sqlparse.MustParse(q)
+		relaxed := Relax(stmt, Options{})
+		before := resultCount(t, db, stmt)
+		after := resultCount(t, db, relaxed)
+		if after < before {
+			t.Errorf("%s: relaxed result %d < original %d (relaxed: %s)", q, after, before, relaxed)
+		}
+		if after == before && q != queries[0] {
+			// Most of these should strictly grow on this dense domain.
+			t.Logf("note: %s did not strictly grow (%d)", q, after)
+		}
+	}
+}
+
+func TestRelaxStrictGrowth(t *testing.T) {
+	db := numbersDB()
+	stmt := sqlparse.MustParse("SELECT * FROM nums WHERE v BETWEEN 40 AND 60")
+	relaxed := Relax(stmt, Options{Factor: 0.5})
+	before := resultCount(t, db, stmt)
+	after := resultCount(t, db, relaxed)
+	if after <= before {
+		t.Errorf("factor 0.5 should strictly grow result: %d -> %d", before, after)
+	}
+}
+
+func TestRelaxEqualityBecomesRange(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT * FROM nums WHERE v = 30")
+	relaxed := Relax(stmt, Options{})
+	if !strings.Contains(relaxed.String(), "BETWEEN") {
+		t.Errorf("numeric equality should relax to BETWEEN: %s", relaxed)
+	}
+	db := numbersDB()
+	if resultCount(t, db, relaxed) <= 1 {
+		t.Error("relaxed equality should match multiple rows")
+	}
+}
+
+func TestRelaxDropsLimit(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT * FROM nums WHERE v > 0 LIMIT 5")
+	relaxed := Relax(stmt, Options{})
+	if relaxed.Limit != -1 {
+		t.Errorf("relaxation should drop LIMIT, got %d", relaxed.Limit)
+	}
+}
+
+func TestRelaxPreservesOriginal(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT * FROM nums WHERE v > 50")
+	before := stmt.String()
+	Relax(stmt, Options{})
+	if stmt.String() != before {
+		t.Error("Relax must not mutate its input")
+	}
+}
+
+func TestRelaxNoWhere(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT * FROM nums")
+	relaxed := Relax(stmt, Options{})
+	if relaxed.Where != nil {
+		t.Error("no WHERE should stay no WHERE")
+	}
+}
+
+func TestRelaxStringEqualityUntouched(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT * FROM nums WHERE name = 'apple'")
+	relaxed := Relax(stmt, Options{})
+	if relaxed.Where.String() != stmt.Where.String() {
+		t.Errorf("string equality should be unchanged, got %s", relaxed.Where)
+	}
+}
+
+func TestRelaxJoinPredicateUntouched(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT * FROM a, b WHERE a.x = b.y AND a.v > 10")
+	relaxed := Relax(stmt, Options{})
+	conjs := sqlparse.Conjuncts(relaxed.Where)
+	if conjs[0].String() != "a.x = b.y" {
+		t.Errorf("join predicate should be unchanged, got %s", conjs[0])
+	}
+}
+
+func TestRelaxLikePrefixShortened(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT * FROM nums WHERE name LIKE 'apri%'")
+	relaxed := Relax(stmt, Options{})
+	like := relaxed.Where.(*sqlparse.Like)
+	if like.Pattern != "apr%" {
+		t.Errorf("pattern = %q, want apr%%", like.Pattern)
+	}
+	// The relaxed pattern matches a superset.
+	db := numbersDB()
+	before := resultCount(t, db, stmt)
+	after := resultCount(t, db, relaxed)
+	if after < before {
+		t.Errorf("LIKE relaxation shrank results: %d -> %d", before, after)
+	}
+}
+
+func TestRelaxShortLikeUntouched(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT * FROM nums WHERE name LIKE 'a%'")
+	relaxed := Relax(stmt, Options{})
+	if relaxed.Where.(*sqlparse.Like).Pattern != "a%" {
+		t.Error("two-char pattern should be unchanged")
+	}
+}
+
+func TestDropConjunct(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT * FROM nums WHERE v > 10 AND name = 'apple'")
+	relaxed := Relax(stmt, Options{DropConjunct: true})
+	conjs := sqlparse.Conjuncts(relaxed.Where)
+	if len(conjs) != 1 {
+		t.Fatalf("expected one remaining conjunct, got %v", conjs)
+	}
+	// The string equality (most selective) goes, the range stays.
+	if !strings.Contains(conjs[0].String(), "v >") {
+		t.Errorf("should keep the range predicate, kept %s", conjs[0])
+	}
+	db := numbersDB()
+	if resultCount(t, db, relaxed) < resultCount(t, db, stmt) {
+		t.Error("dropping a conjunct must enlarge the result")
+	}
+}
+
+func TestDropConjunctSingleKept(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT * FROM nums WHERE v > 10")
+	relaxed := Relax(stmt, Options{DropConjunct: true})
+	if relaxed.Where == nil {
+		t.Error("sole conjunct must never be dropped")
+	}
+}
+
+func TestRelaxFactorDefaults(t *testing.T) {
+	var o Options
+	if o.factor() != 0.25 {
+		t.Errorf("default factor = %v", o.factor())
+	}
+	o.Factor = 0.1
+	if o.factor() != 0.1 {
+		t.Errorf("explicit factor = %v", o.factor())
+	}
+}
+
+func TestRelaxIntegerKindPreserved(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT * FROM nums WHERE v > 50")
+	relaxed := Relax(stmt, Options{})
+	lit := relaxed.Where.(*sqlparse.Binary).Right.(*sqlparse.Literal)
+	if lit.Value.Kind != table.KindInt {
+		t.Errorf("int literal should stay int, got %v", lit.Value.Kind)
+	}
+}
+
+func TestRelaxNotBetweenUntouched(t *testing.T) {
+	stmt := sqlparse.MustParse("SELECT * FROM nums WHERE v NOT BETWEEN 10 AND 20")
+	relaxed := Relax(stmt, Options{})
+	if relaxed.Where.String() != stmt.Where.String() {
+		t.Error("NOT BETWEEN must not be widened (that would shrink results)")
+	}
+}

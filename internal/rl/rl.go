@@ -1,0 +1,526 @@
+// Package rl implements the reinforcement-learning framework of ASQP-RL
+// (Section 5 of the paper): actor-critic policy-gradient agents with Proximal
+// Policy Optimization (clipped surrogate), entropy regularization, an
+// optional KL penalty against the pre-update policy, invalid-action masking,
+// and parallel actor-learners that collect trajectories concurrently.
+//
+// The package is environment-agnostic: anything implementing Environment
+// (masked discrete actions, episodic) can be trained. The ASQP-specific
+// GSL/DRP environments live in internal/core.
+//
+// Ablation switches mirror the paper's Figure 3: setting Config.ClipEpsilon
+// to zero disables the PPO clipping ("-ppo" rows), and Config.UseCritic =
+// false falls back to REINFORCE-style returns ("-ppo -ac" rows).
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"asqprl/internal/nn"
+)
+
+// Environment is a discrete-action, episodic environment with invalid-action
+// masking. State vectors have a fixed dimension and masks have one entry per
+// action.
+type Environment interface {
+	// Reset starts a new episode, returning the initial state and mask.
+	Reset() (state []float64, mask []bool)
+	// Step applies an action, returning the next state, next mask, reward,
+	// and whether the episode has ended.
+	Step(action int) (state []float64, mask []bool, reward float64, done bool)
+	// StateDim returns the dimensionality of state vectors.
+	StateDim() int
+	// NumActions returns the size of the action space.
+	NumActions() int
+	// Clone returns an independent copy for a parallel actor-learner.
+	Clone() Environment
+}
+
+// Config holds agent hyper-parameters. The defaults (applied by
+// normalize) follow Section 6.1 of the paper: learning rate 5e-5 (scaled up
+// here because our networks are far smaller), clip/KL coefficient 0.2,
+// entropy coefficient 0.001.
+type Config struct {
+	// Hidden lists hidden-layer widths of both actor and critic.
+	Hidden []int
+	// LR is the Adam learning rate.
+	LR float64
+	// Gamma is the discount factor.
+	Gamma float64
+	// ClipEpsilon is the PPO clipping range ε; zero disables clipping
+	// (the "-ppo" ablation).
+	ClipEpsilon float64
+	// EntropyCoef scales the entropy bonus encouraging exploration.
+	EntropyCoef float64
+	// KLCoef scales the penalty on KL(old || new) keeping updates proximal.
+	KLCoef float64
+	// ValueCoef scales the critic's squared-error loss.
+	ValueCoef float64
+	// UseCritic enables the critic baseline; false is the "-ac" ablation
+	// (REINFORCE with batch-mean baseline).
+	UseCritic bool
+	// Epochs is the number of optimization passes per collected batch
+	// (only meaningful with clipping or KL penalty; forced to 1 otherwise).
+	Epochs int
+	// Workers is the number of parallel actor-learners collecting episodes.
+	Workers int
+	// EpisodesPerIteration is the batch size in episodes; zero means
+	// Workers episodes per iteration.
+	EpisodesPerIteration int
+	// GradClip bounds the global gradient norm (0 disables).
+	GradClip float64
+	// Seed makes training deterministic.
+	Seed int64
+}
+
+// normalize fills defaults in place and returns the config.
+func (c Config) normalize() Config {
+	if len(c.Hidden) == 0 {
+		c.Hidden = []int{64, 64}
+	}
+	if c.LR <= 0 {
+		c.LR = 3e-3
+	}
+	if c.Gamma <= 0 || c.Gamma > 1 {
+		c.Gamma = 0.99
+	}
+	if c.EntropyCoef < 0 {
+		c.EntropyCoef = 0
+	}
+	if c.ValueCoef <= 0 {
+		c.ValueCoef = 0.5
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 4
+	}
+	if c.ClipEpsilon <= 0 && c.KLCoef <= 0 {
+		// Without a proximal term, re-walking the batch is invalid
+		// off-policy; fall back to a single pass.
+		c.Epochs = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.EpisodesPerIteration <= 0 {
+		c.EpisodesPerIteration = c.Workers
+	}
+	if c.GradClip < 0 {
+		c.GradClip = 0
+	}
+	return c
+}
+
+// DefaultConfig returns the paper-default PPO configuration.
+func DefaultConfig() Config {
+	return Config{
+		Hidden:      []int{64, 64},
+		LR:          3e-3,
+		Gamma:       0.99,
+		ClipEpsilon: 0.2,
+		EntropyCoef: 0.001,
+		KLCoef:      0.2,
+		ValueCoef:   0.5,
+		UseCritic:   true,
+		Epochs:      4,
+		Workers:     4,
+	}.normalize()
+}
+
+// Agent is an actor-critic PPO agent over a fixed environment shape.
+type Agent struct {
+	cfg       Config
+	actor     *nn.MLP
+	critic    *nn.MLP
+	actorOpt  *nn.Adam
+	criticOpt *nn.Adam
+	rng       *rand.Rand
+	stateDim  int
+	actions   int
+}
+
+// NewAgent constructs an agent for environments with the given state
+// dimension and action count.
+func NewAgent(cfg Config, stateDim, numActions int) *Agent {
+	cfg = cfg.normalize()
+	if stateDim <= 0 || numActions <= 0 {
+		panic(fmt.Sprintf("rl: invalid shape state=%d actions=%d", stateDim, numActions))
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	actorSizes := append(append([]int{stateDim}, cfg.Hidden...), numActions)
+	criticSizes := append(append([]int{stateDim}, cfg.Hidden...), 1)
+	a := &Agent{
+		cfg:      cfg,
+		actor:    nn.NewMLP(rng, nn.ActTanh, actorSizes...),
+		critic:   nn.NewMLP(rng, nn.ActTanh, criticSizes...),
+		rng:      rng,
+		stateDim: stateDim,
+		actions:  numActions,
+	}
+	a.actorOpt = nn.NewAdam(a.actor, cfg.LR)
+	a.criticOpt = nn.NewAdam(a.critic, cfg.LR)
+	return a
+}
+
+// Config returns the agent's (normalized) configuration.
+func (a *Agent) Config() Config { return a.cfg }
+
+// Policy returns the masked action distribution for a state.
+func (a *Agent) Policy(state []float64, mask []bool) []float64 {
+	logits := a.actor.Forward(state)
+	return nn.Softmax(nn.MaskLogits(logits, mask))
+}
+
+// Value returns the critic's state-value estimate.
+func (a *Agent) Value(state []float64) float64 {
+	return a.critic.Forward(state)[0]
+}
+
+// SelectAction samples from the masked policy (or takes the argmax when
+// greedy). It returns -1 if no action is valid.
+func (a *Agent) SelectAction(state []float64, mask []bool, greedy bool, rng *rand.Rand) int {
+	p := a.Policy(state, mask)
+	var mass float64
+	for _, v := range p {
+		mass += v
+	}
+	if mass <= 0 {
+		return -1
+	}
+	if greedy {
+		return nn.Argmax(p)
+	}
+	if rng == nil {
+		rng = a.rng
+	}
+	return nn.SampleCategorical(p, rng)
+}
+
+// step is one transition within a trajectory.
+type step struct {
+	state   []float64
+	mask    []bool
+	action  int
+	reward  float64
+	logProb float64
+	oldDist []float64 // masked policy at collection time (for KL)
+	ret     float64   // discounted return-to-go, filled by finishEpisode
+	adv     float64   // advantage, filled by the updater
+}
+
+// trajectory is one collected episode.
+type trajectory struct {
+	steps  []step
+	reward float64 // undiscounted episode return
+}
+
+// TrainStats reports the outcome of Train.
+type TrainStats struct {
+	Episodes       int
+	Iterations     int
+	FinalReturn    float64 // mean undiscounted return of the last iteration
+	BestReturn     float64 // best single-episode return observed
+	ReturnHistory  []float64
+	EarlyStopped   bool
+	TotalSteps     int
+	MeanFinalSteps float64
+}
+
+// ProgressFunc observes training; returning false stops early. meanReturn is
+// the mean undiscounted return of the iteration's episodes.
+type ProgressFunc func(iteration, episodes int, meanReturn float64) bool
+
+// Train runs up to maxEpisodes episodes of collection + PPO updates against
+// env. Parallel workers each use an independent clone of env. progress may
+// be nil.
+func (a *Agent) Train(env Environment, maxEpisodes int, progress ProgressFunc) TrainStats {
+	stats := TrainStats{BestReturn: math.Inf(-1)}
+	if maxEpisodes <= 0 {
+		return stats
+	}
+	perIter := a.cfg.EpisodesPerIteration
+	for stats.Episodes < maxEpisodes {
+		n := perIter
+		if rem := maxEpisodes - stats.Episodes; n > rem {
+			n = rem
+		}
+		trajs := a.collect(env, n)
+		var sum, steps float64
+		for _, tr := range trajs {
+			sum += tr.reward
+			steps += float64(len(tr.steps))
+			if tr.reward > stats.BestReturn {
+				stats.BestReturn = tr.reward
+			}
+		}
+		mean := sum / float64(len(trajs))
+		stats.Episodes += n
+		stats.Iterations++
+		stats.TotalSteps += int(steps)
+		stats.FinalReturn = mean
+		stats.MeanFinalSteps = steps / float64(len(trajs))
+		stats.ReturnHistory = append(stats.ReturnHistory, mean)
+
+		a.update(trajs)
+
+		if progress != nil && !progress(stats.Iterations, stats.Episodes, mean) {
+			stats.EarlyStopped = true
+			break
+		}
+	}
+	return stats
+}
+
+// collect gathers n episodes using cfg.Workers parallel actor-learners. The
+// actor network is only read during collection, so sharing it across
+// goroutines is safe; each worker owns an environment clone and rng.
+func (a *Agent) collect(env Environment, n int) []trajectory {
+	workers := a.cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	trajs := make([]trajectory, n)
+	// Pre-derive deterministic per-episode seeds from the agent rng.
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = a.rng.Int63()
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			wenv := env.Clone()
+			for i := w; i < n; i += workers {
+				trajs[i] = a.runEpisode(wenv, rand.New(rand.NewSource(seeds[i])))
+			}
+		}(w)
+	}
+	wg.Wait()
+	return trajs
+}
+
+// runEpisode plays one episode with the current stochastic policy.
+func (a *Agent) runEpisode(env Environment, rng *rand.Rand) trajectory {
+	var tr trajectory
+	state, mask := env.Reset()
+	for {
+		logits := a.actor.Forward(state)
+		dist := nn.Softmax(nn.MaskLogits(logits, mask))
+		var mass float64
+		for _, p := range dist {
+			mass += p
+		}
+		if mass <= 0 {
+			break // no valid action: terminal
+		}
+		action := nn.SampleCategorical(dist, rng)
+		next, nextMask, reward, done := env.Step(action)
+		tr.steps = append(tr.steps, step{
+			state:   state,
+			mask:    mask,
+			action:  action,
+			reward:  reward,
+			logProb: math.Log(math.Max(dist[action], 1e-12)),
+			oldDist: dist,
+		})
+		tr.reward += reward
+		state, mask = next, nextMask
+		if done {
+			break
+		}
+	}
+	a.finishEpisode(&tr)
+	return tr
+}
+
+// finishEpisode computes discounted returns-to-go.
+func (a *Agent) finishEpisode(tr *trajectory) {
+	ret := 0.0
+	for i := len(tr.steps) - 1; i >= 0; i-- {
+		ret = tr.steps[i].reward + a.cfg.Gamma*ret
+		tr.steps[i].ret = ret
+	}
+}
+
+// update applies the PPO (or ablated) optimization over a batch of
+// trajectories.
+func (a *Agent) update(trajs []trajectory) {
+	var steps []*step
+	for ti := range trajs {
+		for si := range trajs[ti].steps {
+			steps = append(steps, &trajs[ti].steps[si])
+		}
+	}
+	if len(steps) == 0 {
+		return
+	}
+
+	// Advantages.
+	if a.cfg.UseCritic {
+		for _, s := range steps {
+			s.adv = s.ret - a.critic.Forward(s.state)[0]
+		}
+	} else {
+		// REINFORCE ablation: batch-mean baseline only.
+		var mean float64
+		for _, s := range steps {
+			mean += s.ret
+		}
+		mean /= float64(len(steps))
+		for _, s := range steps {
+			s.adv = s.ret - mean
+		}
+	}
+	normalizeAdvantages(steps)
+
+	actorGrads := a.actor.NewGrads()
+	criticGrads := a.critic.NewGrads()
+	inv := 1.0 / float64(len(steps))
+
+	for epoch := 0; epoch < a.cfg.Epochs; epoch++ {
+		actorGrads.Zero()
+		criticGrads.Zero()
+		for _, s := range steps {
+			a.accumulateStep(s, actorGrads, criticGrads, inv)
+		}
+		if a.cfg.GradClip > 0 {
+			nn.ClipGrads(actorGrads, a.cfg.GradClip)
+			nn.ClipGrads(criticGrads, a.cfg.GradClip)
+		}
+		a.actorOpt.Step(a.actor, actorGrads)
+		if a.cfg.UseCritic {
+			a.criticOpt.Step(a.critic, criticGrads)
+		}
+	}
+}
+
+// accumulateStep adds the gradient contribution of one transition.
+func (a *Agent) accumulateStep(s *step, actorGrads, criticGrads *nn.Grads, scale float64) {
+	cache := a.actor.ForwardCache(s.state)
+	logits := nn.MaskLogits(cache.Output(), s.mask)
+	logp := nn.LogSoftmax(logits)
+	p := nn.Softmax(logits)
+
+	newLogp := logp[s.action]
+	ratio := math.Exp(newLogp - s.logProb)
+
+	// Policy-gradient coefficient g = dL/d(logp_action); L is minimized.
+	var g float64
+	if a.cfg.ClipEpsilon > 0 {
+		lo, hi := 1-a.cfg.ClipEpsilon, 1+a.cfg.ClipEpsilon
+		surr1 := ratio * s.adv
+		surr2 := math.Max(math.Min(ratio, hi), lo) * s.adv
+		if surr1 <= surr2 {
+			g = -ratio * s.adv // unclipped branch active
+		} else {
+			g = 0 // clipped: constant w.r.t. parameters
+		}
+	} else {
+		g = -ratio * s.adv // plain importance-weighted policy gradient
+	}
+
+	// dLoss/dlogits via d logp_a / dz_i = δ_ai − p_i.
+	dLogits := make([]float64, len(p))
+	for i := range dLogits {
+		if s.mask != nil && !s.mask[i] {
+			continue
+		}
+		d := -p[i]
+		if i == s.action {
+			d += 1
+		}
+		dLogits[i] += g * d
+	}
+
+	// Entropy bonus: maximize H, i.e. subtract entCoef·dH/dz.
+	if a.cfg.EntropyCoef > 0 {
+		h := nn.Entropy(p)
+		for i := range dLogits {
+			if p[i] <= 0 {
+				continue
+			}
+			dH := -p[i] * (math.Log(p[i]) + h)
+			dLogits[i] -= a.cfg.EntropyCoef * dH
+		}
+	}
+
+	// KL(old || new) penalty: d/dz_i = p_i − pOld_i.
+	if a.cfg.KLCoef > 0 {
+		for i := range dLogits {
+			if s.mask != nil && !s.mask[i] {
+				continue
+			}
+			dLogits[i] += a.cfg.KLCoef * (p[i] - s.oldDist[i])
+		}
+	}
+
+	for i := range dLogits {
+		dLogits[i] *= scale
+	}
+	a.actor.Backward(cache, dLogits, actorGrads)
+
+	if a.cfg.UseCritic {
+		cCache := a.critic.ForwardCache(s.state)
+		v := cCache.Output()[0]
+		dV := 2 * (v - s.ret) * a.cfg.ValueCoef * scale
+		a.critic.Backward(cCache, []float64{dV}, criticGrads)
+	}
+}
+
+// normalizeAdvantages standardizes advantages to zero mean / unit variance,
+// the usual PPO stabilization.
+func normalizeAdvantages(steps []*step) {
+	if len(steps) < 2 {
+		return
+	}
+	var mean float64
+	for _, s := range steps {
+		mean += s.adv
+	}
+	mean /= float64(len(steps))
+	var variance float64
+	for _, s := range steps {
+		d := s.adv - mean
+		variance += d * d
+	}
+	variance /= float64(len(steps))
+	std := math.Sqrt(variance)
+	if std < 1e-8 {
+		return
+	}
+	for _, s := range steps {
+		s.adv = (s.adv - mean) / std
+	}
+}
+
+// Greedy rolls out one episode with the deterministic (argmax) policy and
+// returns the visited actions and total reward. Useful for inference-time
+// set construction and tests.
+func (a *Agent) Greedy(env Environment, maxSteps int) ([]int, float64) {
+	var actions []int
+	var total float64
+	state, mask := env.Reset()
+	for steps := 0; maxSteps <= 0 || steps < maxSteps; steps++ {
+		action := a.SelectAction(state, mask, true, nil)
+		if action < 0 {
+			break
+		}
+		next, nextMask, reward, done := env.Step(action)
+		actions = append(actions, action)
+		total += reward
+		state, mask = next, nextMask
+		if done {
+			break
+		}
+	}
+	return actions, total
+}
+
+// ActorParams exposes the actor network for serialization by callers.
+func (a *Agent) ActorParams() *nn.MLP { return a.actor }
+
+// CriticParams exposes the critic network for serialization by callers.
+func (a *Agent) CriticParams() *nn.MLP { return a.critic }

@@ -1,0 +1,193 @@
+// Package sqlparse implements a lexer, AST, and recursive-descent parser for
+// the SQL subset used by the ASQP-RL reproduction: single SELECT statements
+// with projections, FROM lists with aliases, explicit JOIN ... ON clauses,
+// WHERE predicates (AND/OR/NOT, comparisons, BETWEEN, IN, LIKE, IS NULL,
+// arithmetic), GROUP BY, HAVING, ORDER BY, and LIMIT. Aggregate functions
+// COUNT/SUM/AVG/MIN/MAX (including COUNT(*)) are supported in projections and
+// HAVING.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokOp // operators and punctuation: = <> != < <= > >= + - * / % ( ) , .
+	tokError
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	pos  int
+}
+
+// keywords recognized by the lexer (upper-case canonical form).
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"AND": true, "OR": true, "NOT": true, "IN": true, "BETWEEN": true,
+	"LIKE": true, "IS": true, "NULL": true, "AS": true, "JOIN": true,
+	"INNER": true, "ON": true, "GROUP": true, "BY": true, "HAVING": true,
+	"ORDER": true, "ASC": true, "DESC": true, "LIMIT": true,
+	"TRUE": true, "FALSE": true,
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes src. A token with kind tokError is appended on the first
+// lexical error and scanning stops.
+func lex(src string) []token {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.emit(tokEOF, "", l.pos)
+			return l.toks
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case isIdentStart(rune(c)):
+			l.lexIdent(start)
+		case unicode.IsDigit(rune(c)) || (c == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1]))):
+			l.lexNumber(start)
+		case c == '\'':
+			if !l.lexString(start) {
+				return l.toks
+			}
+		default:
+			if !l.lexOp(start) {
+				return l.toks
+			}
+		}
+	}
+}
+
+func (l *lexer) emit(kind tokenKind, text string, pos int) {
+	l.toks = append(l.toks, token{kind: kind, text: text, pos: pos})
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c)
+}
+
+func isIdentPart(c rune) bool {
+	return c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c)
+}
+
+func (l *lexer) lexIdent(start int) {
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	upper := strings.ToUpper(text)
+	if keywords[upper] {
+		l.emit(tokKeyword, upper, start)
+	} else {
+		l.emit(tokIdent, text, start)
+	}
+}
+
+func (l *lexer) lexNumber(start int) {
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if unicode.IsDigit(rune(c)) {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			// "1." followed by identifier is not a float continuation we
+			// support; require digit after dot.
+			if l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1])) {
+				seenDot = true
+				l.pos++
+				continue
+			}
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
+			next := l.src[l.pos+1]
+			if unicode.IsDigit(rune(next)) || ((next == '+' || next == '-') && l.pos+2 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+2]))) {
+				l.pos += 2
+				for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+					l.pos++
+				}
+				break
+			}
+		}
+		break
+	}
+	l.emit(tokNumber, l.src[start:l.pos], start)
+}
+
+// lexString scans a single-quoted SQL string with ” as the escaped quote.
+// It reports whether scanning succeeded.
+func (l *lexer) lexString(start int) bool {
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				b.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.emit(tokString, b.String(), start)
+			return true
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	l.emit(tokError, fmt.Sprintf("unterminated string at offset %d", start), start)
+	return false
+}
+
+// lexOp scans operators and punctuation. It reports whether scanning
+// succeeded.
+func (l *lexer) lexOp(start int) bool {
+	two := ""
+	if l.pos+2 <= len(l.src) {
+		two = l.src[l.pos : l.pos+2]
+	}
+	switch two {
+	case "<=", ">=", "<>", "!=":
+		l.pos += 2
+		if two == "!=" {
+			two = "<>"
+		}
+		l.emit(tokOp, two, start)
+		return true
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '=', '<', '>', '+', '-', '*', '/', '%', '(', ')', ',', '.', ';':
+		l.pos++
+		l.emit(tokOp, string(c), start)
+		return true
+	}
+	l.emit(tokError, fmt.Sprintf("unexpected character %q at offset %d", c, start), start)
+	return false
+}

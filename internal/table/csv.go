@@ -1,0 +1,78 @@
+package table
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteCSV serializes the table to w as CSV. The header row encodes both
+// column names and kinds as "name:kind" so ReadCSV can reconstruct the
+// schema without guessing.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := make([]string, len(t.Schema))
+	for i, c := range t.Schema {
+		header[i] = c.Name + ":" + c.Kind.String()
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("table: write csv header: %w", err)
+	}
+	record := make([]string, len(t.Schema))
+	for _, r := range t.Rows {
+		for i, v := range r {
+			record[i] = v.String()
+		}
+		if err := cw.Write(record); err != nil {
+			return fmt.Errorf("table: write csv row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a table previously written by WriteCSV.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("table: read csv header: %w", err)
+	}
+	schema := make(Schema, len(header))
+	for i, h := range header {
+		name, kindName, found := strings.Cut(h, ":")
+		if !found {
+			return nil, fmt.Errorf("table: csv header field %q missing kind", h)
+		}
+		kind, err := ParseKind(kindName)
+		if err != nil {
+			return nil, err
+		}
+		schema[i] = Column{Name: name, Kind: kind}
+	}
+	t := New(name, schema)
+	for lineNo := 2; ; lineNo++ {
+		record, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("table: read csv line %d: %w", lineNo, err)
+		}
+		if len(record) != len(schema) {
+			return nil, fmt.Errorf("table: csv line %d has %d fields, want %d", lineNo, len(record), len(schema))
+		}
+		row := make(Row, len(schema))
+		for i, field := range record {
+			v, err := ParseValue(field, schema[i].Kind)
+			if err != nil {
+				return nil, fmt.Errorf("table: csv line %d col %s: %w", lineNo, schema[i].Name, err)
+			}
+			row[i] = v
+		}
+		t.AppendRow(row)
+	}
+	return t, nil
+}

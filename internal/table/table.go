@@ -1,0 +1,295 @@
+package table
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Kind Kind
+}
+
+// Schema is an ordered list of columns.
+type Schema []Column
+
+// ColumnIndex returns the index of the named column, or -1.
+func (s Schema) ColumnIndex(name string) int {
+	for i, c := range s {
+		if strings.EqualFold(c.Name, name) {
+			return i
+		}
+	}
+	return -1
+}
+
+// Names returns the column names in schema order.
+func (s Schema) Names() []string {
+	out := make([]string, len(s))
+	for i, c := range s {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// Clone returns a deep copy of the schema.
+func (s Schema) Clone() Schema {
+	out := make(Schema, len(s))
+	copy(out, s)
+	return out
+}
+
+// String renders the schema as "name:kind, name:kind, ...".
+func (s Schema) String() string {
+	parts := make([]string, len(s))
+	for i, c := range s {
+		parts[i] = c.Name + ":" + c.Kind.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// Row is one tuple: a slice of values aligned with a Schema.
+type Row []Value
+
+// Key returns a string that uniquely identifies the row's contents.
+func (r Row) Key() string {
+	var b strings.Builder
+	for _, v := range r {
+		b.WriteString(v.Key())
+		b.WriteByte(0x1f)
+	}
+	return b.String()
+}
+
+// Clone returns a copy of the row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	copy(out, r)
+	return out
+}
+
+// Table is a named relation: a schema plus row-major tuple storage.
+type Table struct {
+	Name   string
+	Schema Schema
+	Rows   []Row
+}
+
+// New creates an empty table with the given name and schema.
+func New(name string, schema Schema) *Table {
+	return &Table{Name: name, Schema: schema.Clone()}
+}
+
+// NumRows returns the number of tuples in the table.
+func (t *Table) NumRows() int { return len(t.Rows) }
+
+// NumCols returns the number of columns.
+func (t *Table) NumCols() int { return len(t.Schema) }
+
+// AppendRow adds a tuple. It panics if the arity does not match the schema,
+// since that is always a programming error in this codebase.
+func (t *Table) AppendRow(r Row) {
+	if len(r) != len(t.Schema) {
+		panic(fmt.Sprintf("table %s: row arity %d != schema arity %d", t.Name, len(r), len(t.Schema)))
+	}
+	t.Rows = append(t.Rows, r)
+}
+
+// ColumnIndex returns the index of the named column, or -1.
+func (t *Table) ColumnIndex(name string) int { return t.Schema.ColumnIndex(name) }
+
+// Column returns all values of the named column. It returns an error if the
+// column does not exist.
+func (t *Table) Column(name string) ([]Value, error) {
+	idx := t.ColumnIndex(name)
+	if idx < 0 {
+		return nil, fmt.Errorf("table %s: no column %q", t.Name, name)
+	}
+	out := make([]Value, len(t.Rows))
+	for i, r := range t.Rows {
+		out[i] = r[idx]
+	}
+	return out, nil
+}
+
+// Select returns a new table containing the rows at the given indices (in the
+// given order). Indices out of range are skipped.
+func (t *Table) Select(indices []int) *Table {
+	out := New(t.Name, t.Schema)
+	out.Rows = make([]Row, 0, len(indices))
+	for _, i := range indices {
+		if i >= 0 && i < len(t.Rows) {
+			out.Rows = append(out.Rows, t.Rows[i])
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the table (rows are shallow-copied Value
+// slices, which is safe because Value is immutable by convention).
+func (t *Table) Clone() *Table {
+	out := New(t.Name, t.Schema)
+	out.Rows = make([]Row, len(t.Rows))
+	for i, r := range t.Rows {
+		out.Rows[i] = r.Clone()
+	}
+	return out
+}
+
+// RowID identifies a base tuple by table name and row index. It is the unit
+// of membership in approximation sets.
+type RowID struct {
+	Table string
+	Row   int
+}
+
+// String renders the RowID as "table:row".
+func (id RowID) String() string { return fmt.Sprintf("%s:%d", id.Table, id.Row) }
+
+// Database is a catalog of tables. Table order is preserved for deterministic
+// iteration.
+type Database struct {
+	names  []string
+	tables map[string]*Table
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase() *Database {
+	return &Database{tables: make(map[string]*Table)}
+}
+
+// Add inserts or replaces a table.
+func (d *Database) Add(t *Table) {
+	key := strings.ToLower(t.Name)
+	if _, ok := d.tables[key]; !ok {
+		d.names = append(d.names, key)
+	}
+	d.tables[key] = t
+}
+
+// Table returns the named table (case-insensitive), or nil.
+func (d *Database) Table(name string) *Table {
+	return d.tables[strings.ToLower(name)]
+}
+
+// TableNames returns table names in insertion order.
+func (d *Database) TableNames() []string {
+	out := make([]string, len(d.names))
+	copy(out, d.names)
+	return out
+}
+
+// Tables returns all tables in insertion order.
+func (d *Database) Tables() []*Table {
+	out := make([]*Table, 0, len(d.names))
+	for _, n := range d.names {
+		out = append(out, d.tables[n])
+	}
+	return out
+}
+
+// TotalRows returns the total tuple count over all tables.
+func (d *Database) TotalRows() int {
+	total := 0
+	for _, t := range d.Tables() {
+		total += t.NumRows()
+	}
+	return total
+}
+
+// Subset is a selection of row indices per table, i.e. an approximation set
+// 𝒮 = {S1..Sn} in the paper's notation. Indices refer to rows of the parent
+// database's tables.
+type Subset struct {
+	rows map[string]map[int]bool
+}
+
+// NewSubset creates an empty subset.
+func NewSubset() *Subset {
+	return &Subset{rows: make(map[string]map[int]bool)}
+}
+
+// Add inserts a row reference. Duplicate additions are idempotent.
+func (s *Subset) Add(id RowID) {
+	key := strings.ToLower(id.Table)
+	m := s.rows[key]
+	if m == nil {
+		m = make(map[int]bool)
+		s.rows[key] = m
+	}
+	m[id.Row] = true
+}
+
+// AddAll inserts every row reference in ids.
+func (s *Subset) AddAll(ids []RowID) {
+	for _, id := range ids {
+		s.Add(id)
+	}
+}
+
+// Contains reports whether the subset holds the row.
+func (s *Subset) Contains(id RowID) bool {
+	return s.rows[strings.ToLower(id.Table)][id.Row]
+}
+
+// Size returns Σ|S_i|, the total number of tuples in the subset.
+func (s *Subset) Size() int {
+	total := 0
+	for _, m := range s.rows {
+		total += len(m)
+	}
+	return total
+}
+
+// TableRows returns the sorted row indices kept for the named table.
+func (s *Subset) TableRows(name string) []int {
+	m := s.rows[strings.ToLower(name)]
+	out := make([]int, 0, len(m))
+	for i := range m {
+		out = append(out, i)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// IDs returns every row reference in the subset, sorted by table then row.
+func (s *Subset) IDs() []RowID {
+	tables := make([]string, 0, len(s.rows))
+	for t := range s.rows {
+		tables = append(tables, t)
+	}
+	sort.Strings(tables)
+	var out []RowID
+	for _, t := range tables {
+		for _, r := range s.TableRows(t) {
+			out = append(out, RowID{Table: t, Row: r})
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the subset.
+func (s *Subset) Clone() *Subset {
+	out := NewSubset()
+	for t, m := range s.rows {
+		nm := make(map[int]bool, len(m))
+		for r := range m {
+			nm[r] = true
+		}
+		out.rows[t] = nm
+	}
+	return out
+}
+
+// Materialize builds a Database holding only the subset's rows of db. Tables
+// of db with no selected rows are materialized empty, so queries referencing
+// them still execute (and return empty results).
+func (s *Subset) Materialize(db *Database) *Database {
+	out := NewDatabase()
+	for _, t := range db.Tables() {
+		out.Add(t.Select(s.TableRows(t.Name)))
+	}
+	return out
+}

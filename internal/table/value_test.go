@@ -1,0 +1,189 @@
+package table
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueConstructorsAndAccessors(t *testing.T) {
+	cases := []struct {
+		v       Value
+		kind    Kind
+		asFloat float64
+		str     string
+	}{
+		{NewInt(42), KindInt, 42, "42"},
+		{NewInt(-7), KindInt, -7, "-7"},
+		{NewFloat(2.5), KindFloat, 2.5, "2.5"},
+		{NewString("abc"), KindString, 0, "abc"},
+		{NewBool(true), KindBool, 1, "true"},
+		{NewBool(false), KindBool, 0, "false"},
+		{Null, KindNull, 0, ""},
+	}
+	for _, c := range cases {
+		if c.v.Kind != c.kind {
+			t.Errorf("%v: kind = %v, want %v", c.v, c.v.Kind, c.kind)
+		}
+		if got := c.v.AsFloat(); got != c.asFloat {
+			t.Errorf("%v: AsFloat = %v, want %v", c.v, got, c.asFloat)
+		}
+		if got := c.v.String(); got != c.str {
+			t.Errorf("%v: String = %q, want %q", c.v, got, c.str)
+		}
+	}
+}
+
+func TestValueEqualNullSemantics(t *testing.T) {
+	if Null.Equal(Null) {
+		t.Error("NULL = NULL should be false (SQL semantics)")
+	}
+	if Null.Equal(NewInt(0)) || NewInt(0).Equal(Null) {
+		t.Error("NULL should not equal any value")
+	}
+}
+
+func TestValueEqualCrossNumeric(t *testing.T) {
+	if !NewInt(3).Equal(NewFloat(3.0)) {
+		t.Error("int 3 should equal float 3.0")
+	}
+	if NewInt(3).Equal(NewFloat(3.5)) {
+		t.Error("int 3 should not equal float 3.5")
+	}
+	if NewInt(1).Equal(NewString("1")) {
+		t.Error("int should not equal string")
+	}
+}
+
+func TestValueCompareOrdering(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(1), 1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(1), NewFloat(1.5), -1},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewString("b"), NewString("b"), 0},
+		{NewBool(false), NewBool(true), -1},
+		{Null, NewInt(0), -1},
+		{NewInt(0), Null, 1},
+		{Null, Null, 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueKeyDistinguishesKinds(t *testing.T) {
+	vals := []Value{NewInt(1), NewString("1"), NewBool(true), Null, NewFloat(1.5)}
+	seen := map[string]Value{}
+	for _, v := range vals {
+		k := v.Key()
+		if prev, dup := seen[k]; dup {
+			t.Errorf("key collision between %v and %v", prev, v)
+		}
+		seen[k] = v
+	}
+}
+
+func TestValueKeyIntFloatJoinCompat(t *testing.T) {
+	// Integral floats must share keys with the equivalent int so hash joins
+	// across int/float columns match Equal semantics.
+	if NewInt(7).Key() != NewFloat(7.0).Key() {
+		t.Error("int 7 and float 7.0 should share a key")
+	}
+	if NewInt(7).Key() == NewFloat(7.5).Key() {
+		t.Error("int 7 and float 7.5 should not share a key")
+	}
+}
+
+func TestValueKeyConsistentWithEqual(t *testing.T) {
+	// Property: for non-null values, Equal implies same Key.
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		if va.Equal(vb) {
+			return va.Key() == vb.Key()
+		}
+		return va.Key() != vb.Key()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValueRoundTrip(t *testing.T) {
+	vals := []Value{
+		NewInt(123), NewInt(-5), NewFloat(1.25), NewFloat(-0.5),
+		NewString("hello world"), NewBool(true), NewBool(false),
+	}
+	for _, v := range vals {
+		got, err := ParseValue(v.String(), v.Kind)
+		if err != nil {
+			t.Fatalf("ParseValue(%q, %v): %v", v.String(), v.Kind, err)
+		}
+		if !got.Equal(v) {
+			t.Errorf("round trip of %v gave %v", v, got)
+		}
+	}
+}
+
+func TestParseValueEmptyIsNull(t *testing.T) {
+	for _, k := range []Kind{KindInt, KindFloat, KindBool} {
+		v, err := ParseValue("", k)
+		if err != nil {
+			t.Fatalf("ParseValue empty %v: %v", k, err)
+		}
+		if !v.IsNull() {
+			t.Errorf("empty string as %v should be NULL, got %v", k, v)
+		}
+	}
+	v, err := ParseValue("", KindString)
+	if err != nil || v.IsNull() || v.Str != "" {
+		t.Errorf("empty string as string should be empty string, got %v (%v)", v, err)
+	}
+}
+
+func TestParseValueErrors(t *testing.T) {
+	if _, err := ParseValue("abc", KindInt); err == nil {
+		t.Error("parsing 'abc' as int should fail")
+	}
+	if _, err := ParseValue("1.2.3", KindFloat); err == nil {
+		t.Error("parsing '1.2.3' as float should fail")
+	}
+	if _, err := ParseValue("yes please", KindBool); err == nil {
+		t.Error("parsing 'yes please' as bool should fail")
+	}
+}
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, k := range []Kind{KindNull, KindInt, KindFloat, KindString, KindBool} {
+		got, err := ParseKind(k.String())
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Errorf("ParseKind(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if _, err := ParseKind("widget"); err == nil {
+		t.Error("ParseKind of unknown name should fail")
+	}
+}
+
+func TestFloatProperties(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return true
+		}
+		v := NewFloat(x)
+		return v.AsFloat() == x && v.Compare(v) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// The template-based generators below synthesize SPJ (and optionally
+// aggregate) workloads against the schemas produced by internal/datagen.
+// They play the role of the paper's benchmark workloads: the IMDB-JOB query
+// workload, the MAS workload of [5], and the IDEBench-generated FLIGHTS
+// queries. Constants are drawn from the value domains the datagen package
+// uses, so queries are selective but non-empty with high probability.
+
+var imdbGenres = []string{
+	"drama", "comedy", "action", "thriller", "documentary", "horror",
+	"romance", "scifi", "animation", "western",
+}
+
+var imdbRoles = []string{"actor", "actress", "director", "producer", "writer", "composer", "editor"}
+
+var imdbInfoTypes = []string{"budget", "gross", "runtime"}
+
+// IMDB generates n SPJ queries against the datagen.IMDB schema.
+func IMDB(n int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	gen := []func() string{
+		func() string {
+			return fmt.Sprintf("SELECT * FROM title WHERE genre = '%s' AND production_year > %d",
+				imdbGenres[rng.Intn(len(imdbGenres))], 1960+rng.Intn(55))
+		},
+		func() string {
+			return fmt.Sprintf("SELECT title, rating FROM title WHERE rating >= %.1f AND genre = '%s'",
+				5.5+rng.Float64()*3, imdbGenres[rng.Intn(len(imdbGenres))])
+		},
+		func() string {
+			lo := 1950 + rng.Intn(40)
+			return fmt.Sprintf("SELECT t.title, c.role FROM title t JOIN cast_info c ON t.id = c.title_id WHERE c.role = '%s' AND t.production_year BETWEEN %d AND %d",
+				imdbRoles[rng.Intn(len(imdbRoles))], lo, lo+10+rng.Intn(20))
+		},
+		func() string {
+			g := "m"
+			if rng.Intn(2) == 0 {
+				g = "f"
+			}
+			return fmt.Sprintf("SELECT n.name, t.title FROM title t JOIN cast_info c ON t.id = c.title_id JOIN name n ON c.name_id = n.id WHERE t.genre = '%s' AND n.gender = '%s'",
+				imdbGenres[rng.Intn(len(imdbGenres))], g)
+		},
+		func() string {
+			return fmt.Sprintf("SELECT t.title, m.value FROM title t JOIN movie_info m ON t.id = m.title_id WHERE m.info_type = '%s' AND m.value > %d",
+				imdbInfoTypes[rng.Intn(len(imdbInfoTypes))], 50+rng.Intn(400)*1000)
+		},
+		func() string {
+			return fmt.Sprintf("SELECT * FROM title WHERE votes > %d AND rating > %.1f",
+				100+rng.Intn(5000), 4+rng.Float64()*4)
+		},
+		func() string {
+			return fmt.Sprintf("SELECT t.title FROM title t JOIN cast_info c ON t.id = c.title_id WHERE c.role = '%s' AND t.rating > %.1f AND t.kind = 'movie'",
+				imdbRoles[rng.Intn(len(imdbRoles))], 5+rng.Float64()*3)
+		},
+	}
+	return fromGenerators(gen, n, rng)
+}
+
+var masAreas = []string{
+	"databases", "machine learning", "systems", "theory", "vision",
+	"networks", "security", "hci",
+}
+
+var masAffiliations = []string{
+	"MIT", "Stanford", "Berkeley", "CMU", "Tel Aviv University",
+	"University of Pennsylvania", "ETH Zurich", "Oxford", "Tsinghua",
+	"Technion", "EPFL", "Max Planck",
+}
+
+// MAS generates n SPJ queries against the datagen.MAS schema.
+func MAS(n int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	gen := []func() string{
+		func() string {
+			return fmt.Sprintf("SELECT * FROM author WHERE affiliation = '%s' AND pub_count > %d",
+				masAffiliations[rng.Intn(len(masAffiliations))], 1+rng.Intn(40))
+		},
+		func() string {
+			return fmt.Sprintf("SELECT a.name, p.title FROM author a JOIN writes w ON a.id = w.author_id JOIN publication p ON w.publication_id = p.id WHERE p.year > %d AND a.affiliation = '%s'",
+				1995+rng.Intn(25), masAffiliations[rng.Intn(len(masAffiliations))])
+		},
+		func() string {
+			lo := 1992 + rng.Intn(25)
+			return fmt.Sprintf("SELECT p.title FROM publication p JOIN conference c ON p.conference_id = c.id WHERE c.area = '%s' AND p.year BETWEEN %d AND %d",
+				masAreas[rng.Intn(len(masAreas))], lo, lo+3+rng.Intn(8))
+		},
+		func() string {
+			return fmt.Sprintf("SELECT title, citations FROM publication WHERE citations > %d",
+				20+rng.Intn(800))
+		},
+		func() string {
+			return fmt.Sprintf("SELECT p.title, c.name FROM publication p JOIN conference c ON p.conference_id = c.id WHERE c.rank = %d AND p.citations > %d",
+				1+rng.Intn(4), 5+rng.Intn(200))
+		},
+		func() string {
+			return fmt.Sprintf("SELECT * FROM publication WHERE year = %d AND citations BETWEEN %d AND %d",
+				1995+rng.Intn(28), rng.Intn(50), 100+rng.Intn(900))
+		},
+	}
+	return fromGenerators(gen, n, rng)
+}
+
+var flightCarriers = []string{"AA", "DL", "UA", "WN", "B6", "AS", "NK", "F9"}
+
+var flightAirports = []string{
+	"ATL", "LAX", "ORD", "DFW", "DEN", "JFK", "SFO", "SEA", "LAS", "MCO",
+}
+
+// Flights generates n SPJ queries against the datagen.Flights schema.
+func Flights(n int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	gen := []func() string{
+		func() string {
+			return fmt.Sprintf("SELECT * FROM flights WHERE carrier = '%s' AND dep_delay > %d",
+				flightCarriers[rng.Intn(len(flightCarriers))], 10+rng.Intn(90))
+		},
+		func() string {
+			return fmt.Sprintf("SELECT * FROM flights WHERE origin = '%s' AND month = %d",
+				flightAirports[rng.Intn(len(flightAirports))], 1+rng.Intn(12))
+		},
+		func() string {
+			lo := float64(rng.Intn(40))
+			return fmt.Sprintf("SELECT * FROM flights WHERE dest = '%s' AND arr_delay BETWEEN %.0f AND %.0f",
+				flightAirports[rng.Intn(len(flightAirports))], lo, lo+30+float64(rng.Intn(60)))
+		},
+		func() string {
+			return fmt.Sprintf("SELECT carrier, origin, dep_delay FROM flights WHERE distance > %d AND dep_delay > %d",
+				500+rng.Intn(2000), 5+rng.Intn(60))
+		},
+		func() string {
+			return fmt.Sprintf("SELECT * FROM flights WHERE day_of_week = %d AND carrier IN ('%s', '%s')",
+				1+rng.Intn(7), flightCarriers[rng.Intn(len(flightCarriers))],
+				flightCarriers[rng.Intn(len(flightCarriers))])
+		},
+	}
+	return fromGenerators(gen, n, rng)
+}
+
+// FlightsAggregates generates n aggregate queries against datagen.Flights,
+// the workload shape of the Section 6.4 AQP comparison (sum/avg/count with
+// and without GROUP BY).
+func FlightsAggregates(n int, seed int64) Workload {
+	rng := rand.New(rand.NewSource(seed))
+	aggCols := []string{"dep_delay", "arr_delay", "distance"}
+	groupCols := []string{"carrier", "origin", "month", "day_of_week"}
+	fns := []string{"SUM", "AVG", "COUNT"}
+	gen := []func() string{
+		func() string { // grouped
+			fn := fns[rng.Intn(len(fns))]
+			expr := fmt.Sprintf("%s(%s)", fn, aggCols[rng.Intn(len(aggCols))])
+			if fn == "COUNT" {
+				expr = "COUNT(*)"
+			}
+			g := groupCols[rng.Intn(len(groupCols))]
+			return fmt.Sprintf("SELECT %s, %s FROM flights WHERE dep_delay > %d GROUP BY %s",
+				g, expr, rng.Intn(40), g)
+		},
+		func() string { // global
+			fn := fns[rng.Intn(len(fns))]
+			expr := fmt.Sprintf("%s(%s)", fn, aggCols[rng.Intn(len(aggCols))])
+			if fn == "COUNT" {
+				expr = "COUNT(*)"
+			}
+			return fmt.Sprintf("SELECT %s FROM flights WHERE carrier = '%s' AND month = %d",
+				expr, flightCarriers[rng.Intn(len(flightCarriers))], 1+rng.Intn(12))
+		},
+		func() string { // grouped with airport filter
+			g := groupCols[rng.Intn(len(groupCols))]
+			return fmt.Sprintf("SELECT %s, AVG(arr_delay) FROM flights WHERE origin = '%s' GROUP BY %s",
+				g, flightAirports[rng.Intn(len(flightAirports))], g)
+		},
+	}
+	return fromGenerators(gen, n, rng)
+}
+
+// fromGenerators round-robins templates until n distinct queries exist.
+func fromGenerators(gen []func() string, n int, rng *rand.Rand) Workload {
+	seen := map[string]bool{}
+	var sqls []string
+	for attempts := 0; len(sqls) < n && attempts < n*30; attempts++ {
+		sql := gen[attempts%len(gen)]()
+		if seen[sql] {
+			continue
+		}
+		seen[sql] = true
+		sqls = append(sqls, sql)
+	}
+	return MustNew(sqls...)
+}

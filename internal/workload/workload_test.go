@@ -1,0 +1,193 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asqprl/internal/datagen"
+	"asqprl/internal/engine"
+	"asqprl/internal/table"
+)
+
+func TestNewNormalizesWeights(t *testing.T) {
+	w := MustNew(
+		"SELECT * FROM t WHERE a > 1",
+		"SELECT * FROM t WHERE a > 2",
+		"SELECT * FROM t WHERE a > 3",
+	)
+	var sum float64
+	for _, q := range w {
+		sum += q.Weight
+		if q.Stmt == nil {
+			t.Error("statement not parsed")
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("weights sum to %v", sum)
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New(); err == nil {
+		t.Error("empty workload should error")
+	}
+	if _, err := New("NOT SQL"); err == nil {
+		t.Error("bad SQL should error")
+	}
+}
+
+func TestNormalizeZeroWeights(t *testing.T) {
+	w := MustNew("SELECT * FROM t", "SELECT * FROM u")
+	w[0].Weight, w[1].Weight = 0, 0
+	w.Normalize()
+	if math.Abs(w[0].Weight-0.5) > 1e-9 {
+		t.Errorf("zero weights should become uniform, got %v", w[0].Weight)
+	}
+}
+
+func TestSplit(t *testing.T) {
+	w := MustNew(
+		"SELECT * FROM t WHERE a > 1",
+		"SELECT * FROM t WHERE a > 2",
+		"SELECT * FROM t WHERE a > 3",
+		"SELECT * FROM t WHERE a > 4",
+		"SELECT * FROM t WHERE a > 5",
+	)
+	rng := rand.New(rand.NewSource(1))
+	train, test := w.Split(0.6, rng)
+	if len(train) != 3 || len(test) != 2 {
+		t.Errorf("split = %d/%d, want 3/2", len(train), len(test))
+	}
+	// Both sides normalized.
+	var s float64
+	for _, q := range train {
+		s += q.Weight
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("train weights sum %v", s)
+	}
+	// Extreme fractions still give non-empty sides.
+	train, test = w.Split(0.0, rng)
+	if len(train) == 0 {
+		t.Error("train should never be empty")
+	}
+	train, test = w.Split(1.0, rng)
+	if len(test) == 0 {
+		t.Error("test should never be empty for n >= 2")
+	}
+}
+
+func TestSplitEmpty(t *testing.T) {
+	var w Workload
+	train, test := w.Split(0.5, rand.New(rand.NewSource(1)))
+	if train != nil || test != nil {
+		t.Error("empty split should be nil/nil")
+	}
+}
+
+func TestMergeAndSubset(t *testing.T) {
+	a := MustNew("SELECT * FROM t WHERE a > 1")
+	b := MustNew("SELECT * FROM t WHERE a > 2", "SELECT * FROM t WHERE a > 3")
+	m := Merge(a, b)
+	if len(m) != 3 {
+		t.Fatalf("merged = %d", len(m))
+	}
+	var sum float64
+	for _, q := range m {
+		sum += q.Weight
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("merged weights sum %v", sum)
+	}
+	sub := m.Subset([]int{0, 2, 99, -1})
+	if len(sub) != 2 {
+		t.Errorf("subset = %d, want 2", len(sub))
+	}
+}
+
+func TestSQLsAndStatements(t *testing.T) {
+	w := MustNew("SELECT * FROM t WHERE a > 1")
+	if len(w.SQLs()) != 1 || len(w.Statements()) != 1 {
+		t.Error("accessors wrong")
+	}
+	if w.SQLs()[0] != "SELECT * FROM t WHERE a > 1" {
+		t.Errorf("SQL = %q", w.SQLs()[0])
+	}
+}
+
+func TestFromStatements(t *testing.T) {
+	w := MustNew("SELECT * FROM t WHERE a > 1", "SELECT * FROM t WHERE a > 2")
+	w2 := FromStatements(w.Statements())
+	if len(w2) != 2 || w2[0].SQL == "" {
+		t.Errorf("FromStatements = %+v", w2)
+	}
+}
+
+// TestGeneratedWorkloadsExecute verifies the dataset-specific generators
+// produce parseable queries that run against their datasets and mostly
+// return rows.
+func TestGeneratedWorkloadsExecute(t *testing.T) {
+	cases := []struct {
+		name string
+		db   *table.Database
+		w    Workload
+	}{
+		{"imdb", datagen.IMDB(0.02, 1), IMDB(15, 2)},
+		{"mas", datagen.MAS(0.02, 1), MAS(15, 2)},
+		{"flights", datagen.Flights(0.02, 1), Flights(15, 2)},
+		{"flights-agg", datagen.Flights(0.02, 1), FlightsAggregates(12, 2)},
+	}
+	for _, c := range cases {
+		nonEmpty := 0
+		for _, q := range c.w {
+			res, err := engine.ExecuteWith(c.db, q.Stmt, engine.Options{})
+			if err != nil {
+				t.Errorf("%s: query %q fails: %v", c.name, q.SQL, err)
+				continue
+			}
+			if res.Table.NumRows() > 0 {
+				nonEmpty++
+			}
+		}
+		if nonEmpty < 5 {
+			t.Errorf("%s: only %d of %d queries returned rows", c.name, nonEmpty, len(c.w))
+		}
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	a := IMDB(10, 5)
+	b := IMDB(10, 5)
+	for i := range a {
+		if a[i].SQL != b[i].SQL {
+			t.Fatal("same seed should generate identical workloads")
+		}
+	}
+	c := IMDB(10, 6)
+	same := true
+	for i := range a {
+		if a[i].SQL != c[i].SQL {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds should differ")
+	}
+}
+
+func TestAggregateWorkloadHasGroups(t *testing.T) {
+	w := FlightsAggregates(12, 3)
+	grouped := 0
+	for _, q := range w {
+		if !q.Stmt.HasAggregates() {
+			t.Errorf("non-aggregate query in aggregate workload: %s", q.SQL)
+		}
+		if len(q.Stmt.GroupBy) > 0 {
+			grouped++
+		}
+	}
+	if grouped == 0 {
+		t.Error("no GROUP BY queries generated")
+	}
+}

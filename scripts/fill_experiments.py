@@ -1,0 +1,44 @@
+# fill_experiments.py — development helper that splices the tables from a
+# full `asqp-bench -run all` output into EXPERIMENTS.md's placeholders.
+# Usage: python3 scripts/fill_experiments.py
+import re
+
+OUT = "experiments_full_output.txt"
+MD = "EXPERIMENTS.md"
+
+text = open(OUT).read()
+
+# Split the output into per-experiment chunks keyed by id.
+chunks = {}
+for m in re.finditer(r"^# (\S+) —.*?\n(.*?)\n\(\1 completed in ([^)]+)\)",
+                     text, re.S | re.M):
+    exp_id, body, took = m.group(1), m.group(2).strip(), m.group(3)
+    chunks[exp_id] = f"```\n{body}\n```\n\n*(regenerated in {took})*\n"
+
+md = open(MD).read()
+mapping = {
+    "<!-- FIG2 -->": "fig2",
+    "<!-- FIG3 -->": "fig3",
+    "<!-- FIG4 -->": "fig4",
+    "<!-- FIG5 -->": "fig5",
+    "<!-- FIG6 -->": "fig6",
+    "<!-- FIG7 -->": "fig7",
+    "<!-- FIG8 -->": "fig8",
+    "<!-- FIG9 -->": "fig9",
+    "<!-- FIG10 -->": "fig10",
+    "<!-- FIG11 -->": "fig11",
+    "<!-- FIG12 -->": "fig12",
+    "<!-- DIV -->": "div",
+}
+for placeholder, exp_id in mapping.items():
+    if exp_id in chunks:
+        md = md.replace(placeholder, chunks[exp_id])
+
+abl = ""
+for exp_id in ("abl-reps", "abl-relax"):
+    if exp_id in chunks:
+        abl += chunks[exp_id] + "\n"
+md = md.replace("<!-- ABL -->", abl.strip() + "\n")
+
+open(MD, "w").write(md)
+print("EXPERIMENTS.md filled with", len(chunks), "experiment outputs")
