@@ -8,16 +8,39 @@
 //
 // Experiment ids map to the paper's artifacts; see DESIGN.md for the
 // per-experiment index.
+//
+// Observability: -debug-addr serves /metrics, /spans and /debug/pprof while
+// experiments run, and -timing-json writes a machine-readable artifact with
+// per-experiment wall-clock, the metrics registry snapshot (per-phase
+// latency histograms, RL learning curves), and the recorded span trees —
+// the perf trajectory future optimization PRs diff against.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
 	"asqprl/internal/experiments"
+	"asqprl/internal/obs"
 )
+
+// timingArtifact is the JSON document written by -timing-json.
+type timingArtifact struct {
+	GeneratedAt time.Time          `json:"generated_at"`
+	Fast        bool               `json:"fast"`
+	Params      experiments.Params `json:"params"`
+	Experiments []experimentTiming `json:"experiments"`
+	Metrics     obs.Snapshot       `json:"metrics"`
+	Spans       []obs.SpanSnapshot `json:"spans"`
+}
+
+type experimentTiming struct {
+	ID      string  `json:"id"`
+	Seconds float64 `json:"seconds"`
+}
 
 func main() {
 	run := flag.String("run", "", "experiment id to run (or 'all')")
@@ -26,7 +49,26 @@ func main() {
 	scale := flag.Float64("scale", 0, "override dataset scale factor")
 	seeds := flag.Int("seeds", 0, "override repetition count")
 	seed := flag.Int64("seed", 0, "override base random seed")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and /debug/pprof on this address while experiments run")
+	timingJSON := flag.String("timing-json", "", "write a per-phase timing artifact (durations, metrics snapshot, span trees) to this file")
+	logLevel := flag.String("log", "", "emit structured logs to stderr at this level (debug, info, warn, error)")
 	flag.Parse()
+
+	if *logLevel != "" {
+		obs.EnableLogging(os.Stderr, obs.ParseLevel(*logLevel))
+	}
+	if *debugAddr != "" {
+		addr, err := obs.Serve(*debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("debug server on http://%s (/metrics, /spans, /debug/pprof)\n", addr)
+	}
+	if *timingJSON != "" {
+		// The artifact needs metrics and spans even without a debug server.
+		obs.SetEnabled(true)
+	}
 
 	if *list || *run == "" {
 		fmt.Println("Available experiments:")
@@ -65,6 +107,7 @@ func main() {
 		runners = []experiments.Runner{r}
 	}
 
+	var timings []experimentTiming
 	for _, r := range runners {
 		fmt.Printf("# %s — %s\n", r.ID, r.Description)
 		start := time.Now()
@@ -77,6 +120,40 @@ func main() {
 			fmt.Println()
 			t.Render(os.Stdout)
 		}
-		fmt.Printf("\n(%s completed in %s)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		elapsed := time.Since(start)
+		timings = append(timings, experimentTiming{ID: r.ID, Seconds: elapsed.Seconds()})
+		fmt.Printf("\n(%s completed in %s)\n\n", r.ID, elapsed.Round(time.Millisecond))
 	}
+
+	if *timingJSON != "" {
+		if err := writeTimingArtifact(*timingJSON, *fast, params, timings); err != nil {
+			fmt.Fprintln(os.Stderr, "asqp-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("timing artifact written to %s\n", *timingJSON)
+	}
+}
+
+// writeTimingArtifact dumps experiment durations plus the observability
+// state (metrics snapshot, span trees) as indented JSON.
+func writeTimingArtifact(path string, fast bool, params experiments.Params, timings []experimentTiming) error {
+	art := timingArtifact{
+		GeneratedAt: time.Now().UTC(),
+		Fast:        fast,
+		Params:      params,
+		Experiments: timings,
+		Metrics:     obs.Default().Snapshot(),
+		Spans:       obs.RecentSpans(),
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(art); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

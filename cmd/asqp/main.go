@@ -14,6 +14,10 @@
 //
 //	# Load CSVs from a directory and a workload file (one query per line):
 //	asqp -data ./data -workload queries.sql -k 1000 -query "..."
+//
+//	# Observability: serve metrics, span trees and pprof while training and
+//	# emit structured logs (see the Observability section of README.md):
+//	asqp -dataset imdb -debug-addr localhost:6060 -log info -query "..."
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 
 	"asqprl/internal/core"
 	"asqprl/internal/datagen"
+	"asqprl/internal/obs"
 	"asqprl/internal/table"
 	"asqprl/internal/workload"
 )
@@ -52,9 +57,22 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	saveFile := flag.String("save", "", "save the trained system to this file")
 	loadFile := flag.String("load", "", "load a previously saved system instead of training")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. localhost:6060); also enables metric and span recording")
+	logLevel := flag.String("log", "", "emit structured logs to stderr at this level (debug, info, warn, error)")
 	var queries queryList
 	flag.Var(&queries, "query", "query to answer after training (repeatable)")
 	flag.Parse()
+
+	if *logLevel != "" {
+		obs.EnableLogging(os.Stderr, obs.ParseLevel(*logLevel))
+	}
+	if *debugAddr != "" {
+		addr, err := obs.Serve(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("debug server on http://%s (/metrics, /spans, /debug/pprof)\n", addr)
+	}
 
 	db, err := loadDB(*dataset, *dataDir, *scale, *seed)
 	if err != nil {
@@ -157,6 +175,11 @@ func main() {
 		if res.DriftTriggered {
 			fmt.Println("  [interest drift detected — consider fine-tuning]")
 		}
+	}
+
+	if *debugAddr != "" {
+		fmt.Println("\ndebug server still running; press Ctrl-C to exit")
+		select {}
 	}
 }
 

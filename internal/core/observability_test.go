@@ -1,0 +1,78 @@
+package core
+
+import (
+	"testing"
+
+	"asqprl/internal/obs"
+)
+
+// TestTrainProducesSpansAndSeries runs a small end-to-end training with
+// observability enabled and checks the acceptance surface: a per-stage
+// preprocessing span tree nested under the train span, and non-empty
+// per-iteration learning-curve series in the registry.
+func TestTrainProducesSpansAndSeries(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	obs.Default().Reset()
+	obs.ResetSpans()
+	t.Cleanup(func() {
+		obs.SetEnabled(prev)
+		obs.Default().Reset()
+		obs.ResetSpans()
+	})
+
+	cfg := testConfig()
+	cfg.Episodes = 8
+	sys, err := Train(testIMDB(), testWorkload(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Stats().RL.Iterations == 0 {
+		t.Fatal("no RL iterations ran")
+	}
+
+	var train *obs.SpanSnapshot
+	for _, s := range obs.RecentSpans() {
+		if s.Name == "train" {
+			snap := s
+			train = &snap
+		}
+	}
+	if train == nil {
+		t.Fatal("no train span recorded")
+	}
+	var pre *obs.SpanSnapshot
+	for i := range train.Children {
+		if train.Children[i].Name == "preprocess" {
+			pre = &train.Children[i]
+		}
+	}
+	if pre == nil {
+		t.Fatalf("train span has no preprocess child: %+v", train.Children)
+	}
+	stages := map[string]bool{}
+	for _, c := range pre.Children {
+		stages[c.Name] = true
+	}
+	for _, want := range []string{
+		"preprocess/relax", "preprocess/embed", "preprocess/select",
+		"preprocess/execute", "preprocess/subsample",
+	} {
+		if !stages[want] {
+			t.Errorf("preprocess span missing stage %q (have %v)", want, stages)
+		}
+	}
+
+	snap := obs.Default().Snapshot()
+	for _, name := range []string{"rl/mean_return", "rl/policy_loss", "rl/entropy"} {
+		if got := len(snap.Series[name]); got != sys.Stats().RL.Iterations {
+			t.Errorf("series %q has %d points, want %d", name, got, sys.Stats().RL.Iterations)
+		}
+	}
+	if snap.Counters["engine/queries"] == 0 {
+		t.Error("preprocessing should have recorded engine query metrics")
+	}
+	if snap.Gauges["core/train/set_size"] != float64(sys.Stats().SetSize) {
+		t.Errorf("core/train/set_size = %f, want %d", snap.Gauges["core/train/set_size"], sys.Stats().SetSize)
+	}
+}

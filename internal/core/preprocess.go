@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"asqprl/internal/cluster"
 	"asqprl/internal/embed"
 	"asqprl/internal/engine"
+	"asqprl/internal/obs"
 	"asqprl/internal/relax"
 	"asqprl/internal/sample"
 	"asqprl/internal/sqlparse"
@@ -86,26 +88,47 @@ type Preprocessed struct {
 // and action-space construction. Aggregate queries in the workload are
 // rewritten to SPJ form first (Section 3).
 func Preprocess(db *table.Database, w workload.Workload, cfg Config) (*Preprocessed, error) {
+	return PreprocessContext(context.Background(), db, w, cfg)
+}
+
+// PreprocessContext is Preprocess with an explicit context, so the
+// preprocessing span tree nests under any span already carried by ctx (the
+// training pipeline passes its "train" span here).
+func PreprocessContext(ctx context.Context, db *table.Database, w workload.Workload, cfg Config) (*Preprocessed, error) {
 	cfg = cfg.normalize()
 	if len(w) == 0 {
 		return nil, fmt.Errorf("core: empty workload (use GenerateWorkload for the no-workload mode)")
 	}
+	ctx, root := obs.StartSpan(ctx, "preprocess")
+	defer root.End()
+	root.Annotate("workload", len(w))
+	root.Annotate("k", cfg.K)
+	root.Annotate("f", cfg.F)
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	emb := embed.Embedder{Dim: cfg.EmbedDim}
 
 	// 1. Rewrite aggregates to SPJ and relax (lines 1-2 of Algorithm 1).
+	_, relaxSpan := obs.StartSpan(ctx, "preprocess/relax")
 	originals := make([]*sqlparse.Select, len(w))
 	relaxed := make([]*sqlparse.Select, len(w))
-	vecs := make([][]float64, len(w))
 	for i, q := range w {
 		spj := engine.RewriteAggregateToSPJ(q.Stmt)
 		spj.Limit = -1 // cover full results, not a page
 		originals[i] = spj
 		relaxed[i] = relax.Relax(spj, relax.Options{Factor: cfg.RelaxFactor, DropConjunct: cfg.RelaxDrop})
+	}
+	relaxSpan.End()
+
+	// Embed the relaxed queries for clustering.
+	_, embedSpan := obs.StartSpan(ctx, "preprocess/embed")
+	vecs := make([][]float64, len(w))
+	for i := range w {
 		vecs[i] = emb.Query(relaxed[i])
 	}
+	embedSpan.End()
 
 	// 2. Representative selection by clustering the embedded queries.
+	_, selectSpan := obs.StartSpan(ctx, "preprocess/select")
 	numReps := cfg.NumRepresentatives
 	if numReps > len(w) {
 		numReps = len(w)
@@ -135,6 +158,8 @@ func Preprocess(db *table.Database, w workload.Workload, cfg Config) (*Preproces
 	if executed < len(order) {
 		order = order[:executed]
 	}
+	selectSpan.Annotate("representatives", len(order))
+	selectSpan.End()
 
 	pre := &Preprocessed{
 		DB:          db,
@@ -145,6 +170,7 @@ func Preprocess(db *table.Database, w workload.Workload, cfg Config) (*Preproces
 	// result tuples define the reward (what the approximation set must
 	// cover); the relaxed query's result tuples enlarge the candidate
 	// action space beyond the known workload (challenge C4).
+	execCtx, execSpan := obs.StartSpan(ctx, "preprocess/execute")
 	type candInfo struct {
 		rows []table.RowID
 		key  string
@@ -166,8 +192,11 @@ func Preprocess(db *table.Database, w workload.Workload, cfg Config) (*Preproces
 
 	for _, ci := range order {
 		orig := originals[medoids[ci]]
+		_, repSpan := obs.StartSpan(execCtx, "preprocess/execute/representative")
 		res, err := engine.ExecuteWith(db, orig, engine.Options{TrackLineage: true})
 		if err != nil {
+			repSpan.End()
+			execSpan.End()
 			return nil, fmt.Errorf("core: executing representative %q: %w", orig, err)
 		}
 		rep := RepQuery{
@@ -226,9 +255,13 @@ func Preprocess(db *table.Database, w workload.Workload, cfg Config) (*Preproces
 				addCandidate(group, qIdx)
 			}
 		}
+		repSpan.Annotate("rows", rep.Total)
+		repSpan.End()
 		pre.Reps = append(pre.Reps, rep)
 		pre.ExecutedQueries++
 	}
+	execSpan.Annotate("executed", pre.ExecutedQueries)
+	execSpan.End()
 
 	// Normalize representative weights.
 	var wTotal float64
@@ -244,6 +277,7 @@ func Preprocess(db *table.Database, w workload.Workload, cfg Config) (*Preproces
 	// 4. Variational subsampling of the candidate space (Section 4.2): the
 	// stratification signature is the set of representatives referencing the
 	// candidate, so candidates serving rare queries survive.
+	_, subsampleSpan := obs.StartSpan(ctx, "preprocess/subsample")
 	pre.TotalCandidates = len(candOrder)
 	sigs := make([]string, len(candOrder))
 	for i, key := range candOrder {
@@ -258,8 +292,19 @@ func Preprocess(db *table.Database, w workload.Workload, cfg Config) (*Preproces
 	for _, i := range keep {
 		pre.Candidates = append(pre.Candidates, Candidate{Rows: candByKey[candOrder[i]].rows})
 	}
+	subsampleSpan.Annotate("candidates_in", pre.TotalCandidates)
+	subsampleSpan.Annotate("candidates_out", len(pre.Candidates))
+	subsampleSpan.End()
 	if len(pre.Candidates) == 0 {
 		return nil, fmt.Errorf("core: preprocessing produced no candidate actions (all representative queries returned empty results)")
+	}
+	if obs.Enabled() {
+		reg := obs.Default()
+		reg.Counter("core/preprocess/runs").Inc()
+		reg.Counter("core/preprocess/executed_queries").Add(int64(pre.ExecutedQueries))
+		reg.Gauge("core/preprocess/representatives").Set(float64(len(pre.Reps)))
+		reg.Gauge("core/preprocess/candidates").Set(float64(len(pre.Candidates)))
+		reg.Gauge("core/preprocess/total_candidates").Set(float64(pre.TotalCandidates))
 	}
 	return pre, nil
 }

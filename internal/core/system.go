@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -9,6 +10,7 @@ import (
 	"asqprl/internal/embed"
 	"asqprl/internal/engine"
 	"asqprl/internal/metrics"
+	"asqprl/internal/obs"
 	"asqprl/internal/rl"
 	"asqprl/internal/sqlparse"
 	"asqprl/internal/table"
@@ -49,9 +51,15 @@ type System struct {
 func Train(db *table.Database, w workload.Workload, cfg Config) (*System, error) {
 	cfg = cfg.normalize()
 	start := time.Now()
+	ctx, span := obs.StartSpan(context.Background(), "train")
+	defer span.End()
+	obs.Logger().Info("training started",
+		"k", cfg.K, "f", cfg.F, "seed", cfg.Seed,
+		"episodes", cfg.Episodes, "workload", len(w))
 
-	pre, err := Preprocess(db, w, cfg)
+	pre, err := PreprocessContext(ctx, db, w, cfg)
 	if err != nil {
+		obs.Logger().Error("preprocessing failed", "seed", cfg.Seed, "err", err)
 		return nil, err
 	}
 	preDone := time.Now()
@@ -59,19 +67,42 @@ func Train(db *table.Database, w workload.Workload, cfg Config) (*System, error)
 	s := &System{cfg: cfg, db: db, train: w, pre: pre}
 	stateDim, actions := envShape(cfg)
 	s.agent = rl.NewAgent(cfg.RL, stateDim, actions)
+	_, rlSpan := obs.StartSpan(ctx, "train/rl")
 	s.trainAgent()
+	rlSpan.Annotate("iterations", s.stats.RL.Iterations)
+	rlSpan.Annotate("episodes", s.stats.RL.Episodes)
+	rlSpan.End()
 	s.stats.TrainTime = time.Since(preDone)
 
-	if err := s.rebuildSet(0); err != nil {
+	_, buildSpan := obs.StartSpan(ctx, "train/buildset")
+	err = s.rebuildSet(0)
+	buildSpan.End()
+	if err != nil {
 		return nil, err
 	}
+	_, estSpan := obs.StartSpan(ctx, "train/estimator")
 	s.fitEstimator()
+	estSpan.End()
 	s.drift = &DriftDetector{Confidence: cfg.DriftConfidence, Count: cfg.DriftCount}
 
 	s.stats.PreprocessTime = preDone.Sub(start)
 	s.stats.SetupTime = time.Since(start)
 	s.stats.Representatives = len(pre.Reps)
 	s.stats.Candidates = len(pre.Candidates)
+	if obs.Enabled() {
+		reg := obs.Default()
+		reg.Counter("core/train/runs").Inc()
+		reg.Gauge("core/train/set_size").Set(float64(s.stats.SetSize))
+		reg.Histogram("core/train/preprocess_seconds").ObserveDuration(s.stats.PreprocessTime)
+		reg.Histogram("core/train/rl_seconds").ObserveDuration(s.stats.TrainTime)
+		reg.Histogram("core/train/setup_seconds").ObserveDuration(s.stats.SetupTime)
+	}
+	obs.Logger().Info("training finished",
+		"k", cfg.K, "f", cfg.F, "seed", cfg.Seed,
+		"setup", s.stats.SetupTime, "preprocess", s.stats.PreprocessTime,
+		"rl", s.stats.TrainTime, "set_size", s.stats.SetSize,
+		"representatives", s.stats.Representatives, "candidates", s.stats.Candidates,
+		"final_return", s.stats.RL.FinalReturn, "iterations", s.stats.RL.Iterations)
 	return s, nil
 }
 
@@ -201,6 +232,7 @@ func (s *System) Query(sql string) (*QueryResult, error) {
 
 // QueryStmt is Query over a parsed statement.
 func (s *System) QueryStmt(stmt *sqlparse.Select) (*QueryResult, error) {
+	start := time.Now()
 	// Aggregates are estimated through their SPJ rewrite (Section 4.4).
 	estStmt := stmt
 	if stmt.HasAggregates() {
@@ -221,6 +253,18 @@ func (s *System) QueryStmt(stmt *sqlparse.Select) (*QueryResult, error) {
 		return nil, err
 	}
 	out.Table = res.Table
+	if obs.Enabled() {
+		reg := obs.Default()
+		if out.FromApproximation {
+			reg.Counter("core/query/approx").Inc()
+		} else {
+			reg.Counter("core/query/fallback").Inc()
+		}
+		if out.DriftTriggered {
+			reg.Counter("core/query/drift_triggered").Inc()
+		}
+		reg.Histogram("core/query/seconds").ObserveDuration(time.Since(start))
+	}
 	return out, nil
 }
 
@@ -248,8 +292,13 @@ func (s *System) FineTune(newQueries workload.Workload, extraEpisodes int) error
 	if len(newQueries) == 0 {
 		return fmt.Errorf("core: FineTune requires at least one query")
 	}
+	ctx, span := obs.StartSpan(context.Background(), "finetune")
+	defer span.End()
+	obs.Logger().Info("fine-tuning started",
+		"k", s.cfg.K, "f", s.cfg.F, "seed", s.cfg.Seed,
+		"new_queries", len(newQueries), "extra_episodes", extraEpisodes)
 	s.train = workload.Merge(s.train, newQueries)
-	pre, err := Preprocess(s.db, s.train, s.cfg)
+	pre, err := PreprocessContext(ctx, s.db, s.train, s.cfg)
 	if err != nil {
 		return err
 	}
@@ -258,13 +307,21 @@ func (s *System) FineTune(newQueries workload.Workload, extraEpisodes int) error
 		extraEpisodes = s.cfg.Episodes / 2
 	}
 	env := NewEnvironment(s.pre, s.cfg, 0)
+	_, rlSpan := obs.StartSpan(ctx, "finetune/rl")
 	s.stats.RL = s.agent.Train(env, extraEpisodes, nil)
+	rlSpan.End()
 	s.stats.FineTunes++
 	if err := s.rebuildSet(0); err != nil {
 		return err
 	}
 	s.fitEstimator()
 	s.drift.ResetDrift()
+	if obs.Enabled() {
+		obs.Default().Counter("core/finetune/runs").Inc()
+	}
+	obs.Logger().Info("fine-tuning finished",
+		"k", s.cfg.K, "f", s.cfg.F, "seed", s.cfg.Seed,
+		"set_size", s.stats.SetSize, "fine_tunes", s.stats.FineTunes)
 	return nil
 }
 

@@ -64,65 +64,89 @@ type predClass struct {
 	rightBind  binding
 }
 
-// ExecuteWith runs stmt against db with explicit options.
+// ExecuteWith runs stmt against db with explicit options. When observability
+// is enabled (see internal/obs), it records per-query latency keyed by the
+// plan shape, per-operator execution counts, and per-phase timings.
 func ExecuteWith(db *table.Database, stmt *sqlparse.Select, opts Options) (*Result, error) {
+	if t := startQueryTimer(); t != nil {
+		res, b, preds, err := executeWith(db, stmt, opts, t)
+		t.finish(b, preds, stmt, err)
+		return res, err
+	}
+	// Disabled path: drop the binder and predicates immediately so the
+	// plan state does not stay live (and GC-scannable) past execution.
+	res, _, _, err := executeWith(db, stmt, opts, nil)
+	return res, err
+}
+
+// executeWith is the untimed execution pipeline. It returns the binder and
+// classified predicates so the caller can key metrics by plan shape.
+func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *queryTimer) (*Result, *binder, []predClass, error) {
 	if opts.MaxIntermediateRows <= 0 {
 		opts.MaxIntermediateRows = defaultMaxIntermediate
 	}
 	b, err := newBinder(db, stmt)
 	if err != nil {
-		return nil, err
+		return nil, nil, nil, err
 	}
 	// Bind every expression up front so resolution errors surface before
 	// execution starts.
 	for _, it := range stmt.Items {
 		if err := b.bindExpr(it.Expr); err != nil {
-			return nil, err
+			return nil, b, nil, err
 		}
 	}
 	for _, j := range stmt.Joins {
 		if err := b.bindExpr(j.On); err != nil {
-			return nil, err
+			return nil, b, nil, err
 		}
 	}
 	if err := b.bindExpr(stmt.Where); err != nil {
-		return nil, err
+		return nil, b, nil, err
 	}
 	for _, g := range stmt.GroupBy {
 		if err := b.bindExpr(g); err != nil {
-			return nil, err
+			return nil, b, nil, err
 		}
 	}
 	if err := b.bindExpr(stmt.Having); err != nil {
-		return nil, err
+		return nil, b, nil, err
 	}
 	// ORDER BY expressions are not pre-bound: they may reference output
 	// aliases rather than base columns, and orderKey resolves them lazily.
 
 	preds, err := classify(b, stmt)
 	if err != nil {
-		return nil, err
+		return nil, b, nil, err
 	}
+	t.phase("plan")
 	joined, err := runJoins(b, preds, opts)
 	if err != nil {
-		return nil, err
+		return nil, b, preds, err
 	}
+	t.phase("join")
 
 	if stmt.HasAggregates() {
 		out, err := aggregate(b, stmt, joined)
 		if err != nil {
-			return nil, err
+			return nil, b, preds, err
 		}
+		t.phase("aggregate")
 		res := &Result{Table: out}
-		return finish(b, stmt, res, nil, true)
+		res, err = finish(b, stmt, res, nil, true)
+		t.phase("finish")
+		return res, b, preds, err
 	}
 
 	out, lineage, err := project(b, stmt, joined, opts.TrackLineage)
 	if err != nil {
-		return nil, err
+		return nil, b, preds, err
 	}
+	t.phase("project")
 	res := &Result{Table: out, Lineage: lineage}
-	return finish(b, stmt, res, joined, false)
+	res, err = finish(b, stmt, res, joined, false)
+	t.phase("finish")
+	return res, b, preds, err
 }
 
 // classify splits WHERE and ON into per-relation filters, equi-joins and

@@ -116,3 +116,89 @@ func Explain(db *table.Database, stmt *sqlparse.Select) (string, error) {
 	}
 	return out.String(), nil
 }
+
+// PlanShape returns a compact key describing the physical plan the executor
+// will use for stmt — scan/join/residual operator counts plus finishing
+// operator flags, e.g. "scan3-hash2-res1+agg+sort+limit". The engine's
+// per-query metrics are keyed by it, so queries with the same plan skeleton
+// aggregate into one histogram regardless of their literals.
+func PlanShape(db *table.Database, stmt *sqlparse.Select) (string, error) {
+	b, err := newBinder(db, stmt)
+	if err != nil {
+		return "", err
+	}
+	preds, err := classify(b, stmt)
+	if err != nil {
+		return "", err
+	}
+	return planShape(b, preds, stmt), nil
+}
+
+// planShape is PlanShape over an already-bound statement.
+func planShape(b *binder, preds []predClass, stmt *sqlparse.Select) string {
+	counts := planOpCounts(b, preds)
+	var out strings.Builder
+	fmt.Fprintf(&out, "scan%d", len(b.tables))
+	if counts.hashJoins > 0 {
+		fmt.Fprintf(&out, "-hash%d", counts.hashJoins)
+	}
+	if counts.crossJoins > 0 {
+		fmt.Fprintf(&out, "-cross%d", counts.crossJoins)
+	}
+	if counts.residuals > 0 {
+		fmt.Fprintf(&out, "-res%d", counts.residuals)
+	}
+	if stmt.HasAggregates() {
+		out.WriteString("+agg")
+	}
+	if stmt.Distinct {
+		out.WriteString("+distinct")
+	}
+	if len(stmt.OrderBy) > 0 {
+		out.WriteString("+sort")
+	}
+	if stmt.Limit >= 0 {
+		out.WriteString("+limit")
+	}
+	return out.String()
+}
+
+// opCounts tallies the join-pipeline operators of a classified plan.
+type opCounts struct {
+	hashJoins  int
+	crossJoins int
+	residuals  int
+}
+
+// planOpCounts walks the left-deep join order exactly as runJoins does and
+// counts the operator kinds it will execute.
+func planOpCounts(b *binder, preds []predClass) opCounts {
+	var c opCounts
+	bound := map[int]bool{0: true}
+	for rel := 1; rel < len(b.tables); rel++ {
+		hash := false
+		for _, p := range preds {
+			if !p.isEquiJoin {
+				continue
+			}
+			l, r := p.leftBind.rel, p.rightBind.rel
+			if (l == rel && bound[r]) || (r == rel && bound[l]) {
+				hash = true
+				break
+			}
+		}
+		if hash {
+			c.hashJoins++
+		} else {
+			c.crossJoins++
+		}
+		bound[rel] = true
+		for _, p := range preds {
+			if p.isEquiJoin || len(p.rels) < 2 || p.rels[len(p.rels)-1] != rel {
+				continue
+			}
+			c.residuals++
+		}
+	}
+	return c
+}

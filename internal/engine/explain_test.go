@@ -52,6 +52,28 @@ func TestExplainResidualPredicate(t *testing.T) {
 	}
 }
 
+func TestPlanShape(t *testing.T) {
+	db := testDB()
+	cases := []struct {
+		sql, want string
+	}{
+		{"SELECT * FROM movies", "scan1"},
+		{"SELECT * FROM movies WHERE year > 2000 ORDER BY title LIMIT 5", "scan1+sort+limit"},
+		{"SELECT m.title FROM movies m JOIN credits c ON m.id = c.movie_id", "scan2-hash1"},
+		{"SELECT genre, COUNT(*) FROM movies, credits GROUP BY genre", "scan2-cross1+agg"},
+		{"SELECT DISTINCT m.id FROM movies m, credits c WHERE m.id = c.movie_id AND m.year + c.movie_id > 2000", "scan2-hash1-res1+distinct"},
+	}
+	for _, c := range cases {
+		got, err := PlanShape(db, sqlparse.MustParse(c.sql))
+		if err != nil {
+			t.Fatalf("%s: %v", c.sql, err)
+		}
+		if got != c.want {
+			t.Errorf("PlanShape(%s) = %q, want %q", c.sql, got, c.want)
+		}
+	}
+}
+
 func TestExplainErrors(t *testing.T) {
 	db := testDB()
 	if _, err := Explain(db, sqlparse.MustParse("SELECT * FROM ghost")); err == nil {

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"testing"
+
+	"asqprl/internal/obs"
+	"asqprl/internal/sqlparse"
+)
+
+// TestExecuteRecordsMetrics verifies that query execution with observability
+// enabled records per-query, per-shape, per-operator and per-phase metrics,
+// and that nothing is recorded while disabled.
+func TestExecuteRecordsMetrics(t *testing.T) {
+	prev := obs.Enabled()
+	defer obs.SetEnabled(prev)
+	db := testDB()
+	stmt := sqlparse.MustParse("SELECT m.title FROM movies m JOIN credits c ON m.id = c.movie_id")
+
+	obs.SetEnabled(false)
+	obs.Default().Reset()
+	if _, err := ExecuteWith(db, stmt, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if n := obs.Default().Snapshot().Counters["engine/queries"]; n != 0 {
+		t.Fatalf("disabled execution recorded %d queries", n)
+	}
+
+	obs.SetEnabled(true)
+	if _, err := ExecuteWith(db, stmt, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	snap := obs.Default().Snapshot()
+	if snap.Counters["engine/queries"] != 1 {
+		t.Fatalf("engine/queries = %d, want 1", snap.Counters["engine/queries"])
+	}
+	if snap.Counters["engine/op/scan"] != 2 || snap.Counters["engine/op/hash_join"] != 1 {
+		t.Fatalf("operator counters wrong: %+v", snap.Counters)
+	}
+	if h := snap.Histograms["engine/query/seconds/scan2-hash1"]; h.Count != 1 || h.P50 <= 0 {
+		t.Fatalf("per-shape histogram wrong: %+v", h)
+	}
+	for _, phase := range []string{"plan", "join", "project", "finish"} {
+		if h := snap.Histograms["engine/phase/"+phase+"/seconds"]; h.Count != 1 {
+			t.Fatalf("phase %q histogram count = %d, want 1", phase, h.Count)
+		}
+	}
+
+	// Errors are counted too.
+	if _, err := ExecuteWith(db, sqlparse.MustParse("SELECT nope FROM movies"), Options{}); err == nil {
+		t.Fatal("expected binding error")
+	}
+	snap = obs.Default().Snapshot()
+	if snap.Counters["engine/errors"] != 1 || snap.Counters["engine/queries"] != 2 {
+		t.Fatalf("error accounting wrong: %+v", snap.Counters)
+	}
+	obs.Default().Reset()
+}

@@ -18,6 +18,7 @@ import (
 	"asqprl/internal/datagen"
 	"asqprl/internal/engine"
 	"asqprl/internal/metrics"
+	"asqprl/internal/obs"
 	"asqprl/internal/table"
 	"asqprl/internal/workload"
 )
@@ -224,6 +225,15 @@ func loadDataset(name string, p Params, seed int64) dataset {
 	}
 	rng := rand.New(rand.NewSource(seed + 200))
 	train, test := w.Split(0.7, rng)
+	obs.Logger().Info("dataset loaded",
+		"dataset", name,
+		"tables", len(db.TableNames()),
+		"rows", db.TotalRows(),
+		"train_queries", len(train),
+		"test_queries", len(test),
+		"k", p.K,
+		"frame", p.F,
+		"seed", seed)
 	return dataset{name: name, db: db, train: train, test: test}
 }
 

@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -18,8 +19,9 @@ import (
 //	score(𝒮) = (1/|Q|) Σ_q w(q) · min(1, |q(𝒮)| / min(F, |q(𝒯)|))
 //
 // full is the complete database 𝒯 and approx the materialized approximation
-// set 𝒮. Queries that fail on either database contribute zero (and the first
-// error is returned alongside the partial score).
+// set 𝒮. Queries that fail on either database contribute zero; every failure
+// is collected and returned as a joined error alongside the partial score,
+// so callers see all broken queries rather than just the first one.
 //
 // Note the paper normalizes by |Q| while also using weights that sum to 1;
 // with uniform weights this makes the maximum attainable score 1/|Q|. Like
@@ -38,19 +40,19 @@ func Score(full, approx *table.Database, w workload.Workload, frameSize int) (fl
 }
 
 // PerQueryScores returns each query's unweighted score component
-// min(1, |q(S)| / min(F, |q(T)|)). Failed queries score 0.
+// min(1, |q(S)| / min(F, |q(T)|)). Failed queries score 0; all failures are
+// joined (errors.Join) into the returned error, with the scores slice still
+// valid. scores is nil only when frameSize is invalid.
 func PerQueryScores(full, approx *table.Database, w workload.Workload, frameSize int) ([]float64, error) {
 	if frameSize <= 0 {
 		return nil, fmt.Errorf("metrics: frame size must be positive, got %d", frameSize)
 	}
 	scores := make([]float64, len(w))
-	var firstErr error
+	var errs []error
 	for i, q := range w {
 		fullCount, err := engine.Count(full, q.Stmt)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("metrics: query %q on full db: %w", q.SQL, err)
-			}
+			errs = append(errs, fmt.Errorf("metrics: query %q on full db: %w", q.SQL, err))
 			continue
 		}
 		if fullCount == 0 {
@@ -60,9 +62,7 @@ func PerQueryScores(full, approx *table.Database, w workload.Workload, frameSize
 		}
 		approxCount, err := engine.Count(approx, q.Stmt)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = fmt.Errorf("metrics: query %q on approximation set: %w", q.SQL, err)
-			}
+			errs = append(errs, fmt.Errorf("metrics: query %q on approximation set: %w", q.SQL, err))
 			continue
 		}
 		denom := frameSize
@@ -71,7 +71,7 @@ func PerQueryScores(full, approx *table.Database, w workload.Workload, frameSize
 		}
 		scores[i] = math.Min(1, float64(approxCount)/float64(denom))
 	}
-	return scores, firstErr
+	return scores, errors.Join(errs...)
 }
 
 // RelativeError computes |pred − truth| / |truth| (Equation 2). When truth

@@ -3,6 +3,7 @@ package metrics
 import (
 	"math"
 	"math/rand"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -153,6 +154,45 @@ func TestScoreBadQueryContributesZero(t *testing.T) {
 	}
 	if math.Abs(s-0.5) > 1e-9 {
 		t.Errorf("score = %v, want 0.5 (good query full, bad query zero)", s)
+	}
+}
+
+// TestScoreCollectsAllErrors: every failed query is reported, not just the
+// first — the joined error mentions each broken query by its SQL.
+func TestScoreCollectsAllErrors(t *testing.T) {
+	db := numsDB(10)
+	w := workload.MustNew(
+		"SELECT * FROM ghost",
+		"SELECT * FROM nums WHERE v < 5",
+		"SELECT * FROM phantom",
+	)
+	all := []int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	scores, err := PerQueryScores(db, subsetDB(db, all), w, 50)
+	if err == nil {
+		t.Fatal("two bad queries should surface an error")
+	}
+	for _, frag := range []string{"ghost", "phantom"} {
+		if !strings.Contains(err.Error(), frag) {
+			t.Errorf("joined error should mention %q, got: %v", frag, err)
+		}
+	}
+	if len(scores) != 3 {
+		t.Fatalf("scores length = %d, want 3", len(scores))
+	}
+	if scores[0] != 0 || scores[2] != 0 {
+		t.Errorf("failed queries should score 0, got %v", scores)
+	}
+	if math.Abs(scores[1]-1) > 1e-9 {
+		t.Errorf("good query should score 1, got %v", scores[1])
+	}
+
+	// Score still returns the partial weighted total with the same error.
+	s, err := Score(db, subsetDB(db, all), w, 50)
+	if err == nil {
+		t.Error("Score should propagate the joined error")
+	}
+	if math.Abs(s-1.0/3) > 1e-9 {
+		t.Errorf("partial score = %v, want 1/3", s)
 	}
 }
 

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"strings"
+	"sync/atomic"
+)
+
+// nopHandler is an slog.Handler that reports every level disabled, making
+// Logger() calls free (no attribute formatting) when logging is off.
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+var defaultLogger atomic.Pointer[slog.Logger]
+
+func init() {
+	defaultLogger.Store(slog.New(nopHandler{}))
+}
+
+// Logger returns the package logger. It is a no-op unless EnableLogging (or
+// SetLogger) has been called, so call sites may log unconditionally.
+func Logger() *slog.Logger { return defaultLogger.Load() }
+
+// SetLogger replaces the package logger. Passing nil restores the no-op
+// logger.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		l = slog.New(nopHandler{})
+	}
+	defaultLogger.Store(l)
+}
+
+// EnableLogging routes structured logs at or above level to w as
+// logfmt-style text.
+func EnableLogging(w io.Writer, level slog.Level) {
+	SetLogger(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})))
+}
+
+// ParseLevel maps a -log flag value ("debug", "info", "warn", "error") to a
+// slog level, defaulting to info for unknown strings.
+func ParseLevel(s string) slog.Level {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug
+	case "warn", "warning":
+		return slog.LevelWarn
+	case "error":
+		return slog.LevelError
+	default:
+		return slog.LevelInfo
+	}
+}

@@ -1,0 +1,27 @@
+// Package obs is the observability layer of the ASQP-RL system: a
+// concurrency-safe metrics registry (counters, gauges, fixed-bucket latency
+// histograms, and bounded series), lightweight hierarchical spans, and a
+// log/slog-based structured logger.
+//
+// The package is stdlib-only and designed so instrumented hot paths cost
+// near zero when observability is off: every recording entry point first
+// checks Enabled(), a single atomic load, and spans/loggers degrade to
+// nil-receiver no-ops. Callers therefore instrument unconditionally and let
+// the package decide whether anything is recorded.
+//
+// A process-wide default registry and span collector back the package-level
+// helpers; the debug HTTP server (see Handler/Serve) exposes them as JSON at
+// /metrics and /spans alongside net/http/pprof.
+package obs
+
+import "sync/atomic"
+
+var enabled atomic.Bool
+
+// SetEnabled turns metric and span recording on or off process-wide.
+// Structured logging is controlled separately via EnableLogging.
+func SetEnabled(on bool) { enabled.Store(on) }
+
+// Enabled reports whether metric and span recording is on. Instrumented hot
+// paths use this as their only gate, so the disabled cost is one atomic load.
+func Enabled() bool { return enabled.Load() }

@@ -1,0 +1,258 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// withObs enables observability for one test and restores the previous
+// global state afterwards.
+func withObs(t *testing.T) {
+	t.Helper()
+	prev := Enabled()
+	SetEnabled(true)
+	ResetSpans()
+	t.Cleanup(func() {
+		SetEnabled(prev)
+		ResetSpans()
+	})
+}
+
+func TestHistogramQuantileConcurrent(t *testing.T) {
+	h := NewHistogram()
+	const (
+		workers = 8
+		perW    = 2000
+	)
+	// Uniform values in (0, 2] seconds, interleaved across workers.
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				v := float64(w*perW+i+1) / float64(workers*perW) * 2
+				h.Observe(v)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	if got, want := h.Count(), int64(workers*perW); got != want {
+		t.Fatalf("Count = %d, want %d", got, want)
+	}
+	// Sum of a uniform grid over (0, 2]: n * (max + step) / 2.
+	wantSum := float64(workers*perW) * (2 + 2.0/float64(workers*perW)) / 2
+	if got := h.Sum(); got < wantSum*0.999 || got > wantSum*1.001 {
+		t.Fatalf("Sum = %f, want ~%f", got, wantSum)
+	}
+	// Exponential buckets bound the quantile error by one bucket width (2x).
+	checks := []struct{ q, want float64 }{{0.5, 1.0}, {0.9, 1.8}, {0.99, 1.98}}
+	for _, c := range checks {
+		got := h.Quantile(c.q)
+		if got < c.want/2 || got > c.want*2 {
+			t.Errorf("Quantile(%v) = %f, want within 2x of %f", c.q, got, c.want)
+		}
+	}
+	if got := h.Min(); got <= 0 || got > 0.01 {
+		t.Errorf("Min = %f, want small positive", got)
+	}
+	if got := h.Max(); got != 2 {
+		t.Errorf("Max = %f, want 2", got)
+	}
+}
+
+func TestHistogramEmptyAndSnapshot(t *testing.T) {
+	h := NewHistogram()
+	if h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatal("empty histogram must report zeros")
+	}
+	h.ObserveDuration(5 * time.Millisecond)
+	s := h.Snapshot()
+	if s.Count != 1 || s.Mean <= 0 || s.P50 <= 0 {
+		t.Fatalf("snapshot after one observation: %+v", s)
+	}
+}
+
+func TestSpanTreeNestingAndOrdering(t *testing.T) {
+	withObs(t)
+	ctx, root := StartSpan(context.Background(), "preprocess")
+	root.Annotate("k", 100)
+	_, relax := StartSpan(ctx, "preprocess/relax")
+	relax.End()
+	execCtx, exec := StartSpan(ctx, "preprocess/execute")
+	_, q0 := StartSpan(execCtx, "query-0")
+	q0.End()
+	exec.End()
+	root.End()
+
+	trees := RecentSpans()
+	if len(trees) != 1 {
+		t.Fatalf("got %d root spans, want 1", len(trees))
+	}
+	tree := trees[0]
+	if tree.Name != "preprocess" {
+		t.Fatalf("root name = %q", tree.Name)
+	}
+	if tree.Attrs["k"] != 100 {
+		t.Fatalf("root attrs = %v", tree.Attrs)
+	}
+	if len(tree.Children) != 2 ||
+		tree.Children[0].Name != "preprocess/relax" ||
+		tree.Children[1].Name != "preprocess/execute" {
+		t.Fatalf("children wrong: %+v", tree.Children)
+	}
+	if len(tree.Children[1].Children) != 1 || tree.Children[1].Children[0].Name != "query-0" {
+		t.Fatalf("grandchildren wrong: %+v", tree.Children[1].Children)
+	}
+	if tree.DurationMS < tree.Children[1].DurationMS {
+		t.Fatalf("parent duration %f < child duration %f", tree.DurationMS, tree.Children[1].DurationMS)
+	}
+}
+
+func TestSpanDisabledIsNoop(t *testing.T) {
+	prev := Enabled()
+	SetEnabled(false)
+	defer SetEnabled(prev)
+	ResetSpans()
+	ctx, s := StartSpan(context.Background(), "x")
+	if s != nil {
+		t.Fatal("disabled StartSpan must return a nil span")
+	}
+	s.End()            // must not panic
+	s.Annotate("a", 1) // must not panic
+	if s.Duration() != 0 {
+		t.Fatal("nil span duration must be 0")
+	}
+	if _, child := StartSpan(ctx, "y"); child != nil {
+		t.Fatal("child of disabled span must be nil")
+	}
+	if len(RecentSpans()) != 0 {
+		t.Fatal("no spans should be recorded while disabled")
+	}
+}
+
+func TestRegistryConcurrentAndSnapshot(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c").Inc()
+				r.Gauge("g").Add(1)
+				r.Histogram("h").Observe(0.001)
+				r.Series("s").Append(float64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot()
+	if snap.Counters["c"] != 4000 {
+		t.Fatalf("counter = %d, want 4000", snap.Counters["c"])
+	}
+	if snap.Gauges["g"] != 4000 {
+		t.Fatalf("gauge = %f, want 4000", snap.Gauges["g"])
+	}
+	if snap.Histograms["h"].Count != 4000 {
+		t.Fatalf("histogram count = %d, want 4000", snap.Histograms["h"].Count)
+	}
+	if len(snap.Series["s"]) != 4000 {
+		t.Fatalf("series len = %d, want 4000", len(snap.Series["s"]))
+	}
+	if names := r.MetricNames(); len(names) != 4 {
+		t.Fatalf("metric names = %v", names)
+	}
+}
+
+func TestSeriesCap(t *testing.T) {
+	s := &Series{}
+	for i := 0; i < seriesCap+10; i++ {
+		s.Append(float64(i))
+	}
+	vals := s.Values()
+	if len(vals) != seriesCap {
+		t.Fatalf("len = %d, want %d", len(vals), seriesCap)
+	}
+	if vals[0] != 10 || vals[len(vals)-1] != float64(seriesCap+9) {
+		t.Fatalf("eviction wrong: first=%f last=%f", vals[0], vals[len(vals)-1])
+	}
+}
+
+func TestLoggerDefaultIsNoop(t *testing.T) {
+	SetLogger(nil)
+	l := Logger()
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("default logger must be disabled at every level")
+	}
+	l.Info("should go nowhere", "k", "v")
+
+	var buf bytes.Buffer
+	EnableLogging(&buf, slog.LevelInfo)
+	defer SetLogger(nil)
+	Logger().Info("hello", "dataset", "imdb", "k", 100)
+	if got := buf.String(); got == "" || !bytes.Contains(buf.Bytes(), []byte("dataset=imdb")) {
+		t.Fatalf("structured log missing fields: %q", got)
+	}
+	Logger().Debug("filtered")
+	if bytes.Contains(buf.Bytes(), []byte("filtered")) {
+		t.Fatal("debug line should be filtered at info level")
+	}
+}
+
+func TestDebugHandlerEndpoints(t *testing.T) {
+	withObs(t)
+	Default().Counter("test/hits").Inc()
+	_, sp := StartSpan(context.Background(), "test/root")
+	sp.End()
+
+	srv := httptest.NewServer(Handler())
+	defer srv.Close()
+
+	var snap Snapshot
+	getJSON(t, srv.URL+"/metrics", &snap)
+	if snap.Counters["test/hits"] < 1 {
+		t.Fatalf("metrics snapshot missing counter: %+v", snap.Counters)
+	}
+
+	var spans []SpanSnapshot
+	getJSON(t, srv.URL+"/spans", &spans)
+	found := false
+	for _, s := range spans {
+		if s.Name == "test/root" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("spans endpoint missing root span: %+v", spans)
+	}
+
+	resp, err := http.Get(srv.URL + "/debug/pprof/")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index: %v status=%v", err, resp)
+	}
+	resp.Body.Close()
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatalf("decode %s: %v", url, err)
+	}
+}

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// spanCtxKey is the context key carrying the current span.
+type spanCtxKey struct{}
+
+// maxRootSpans bounds the ring buffer of finished root span trees retained
+// for the /spans endpoint.
+const maxRootSpans = 64
+
+// Span is one timed region of execution. Spans nest: starting a span under a
+// context that already carries one attaches it as a child, producing a
+// wall-clock tree. A nil *Span is a valid no-op receiver, which is what
+// StartSpan returns when observability is disabled.
+type Span struct {
+	name  string
+	start time.Time
+
+	mu       sync.Mutex
+	end      time.Time
+	attrs    map[string]any
+	children []*Span
+	root     bool
+}
+
+// StartSpan begins a span named name under ctx and returns a derived context
+// carrying it. End must be called on the returned span. When observability is
+// disabled it returns ctx unchanged and a nil span whose methods are no-ops.
+func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
+	if !Enabled() {
+		return ctx, nil
+	}
+	s := &Span{name: name, start: time.Now()}
+	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+		parent.mu.Lock()
+		parent.children = append(parent.children, s)
+		parent.mu.Unlock()
+	} else {
+		s.root = true
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// End finishes the span, fixing its duration. Root spans are published to the
+// recent-spans ring buffer. Calling End more than once keeps the first end
+// time.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+	isRoot := s.root
+	s.mu.Unlock()
+	if isRoot {
+		spanStore.add(s)
+	}
+}
+
+// Annotate attaches a key/value attribute to the span (last write wins).
+func (s *Span) Annotate(key string, value any) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.attrs == nil {
+		s.attrs = map[string]any{}
+	}
+	s.attrs[key] = value
+	s.mu.Unlock()
+}
+
+// Duration returns the span's wall-clock duration (time since start if the
+// span has not ended, 0 for a nil span).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// SpanSnapshot is a JSON-friendly view of a finished span tree.
+type SpanSnapshot struct {
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Children   []SpanSnapshot `json:"children,omitempty"`
+}
+
+// Snapshot renders the span and its subtree. Unfinished descendants report
+// their duration so far.
+func (s *Span) Snapshot() SpanSnapshot {
+	if s == nil {
+		return SpanSnapshot{}
+	}
+	s.mu.Lock()
+	snap := SpanSnapshot{
+		Name:       s.name,
+		Start:      s.start,
+		DurationMS: float64(s.durationLocked()) / float64(time.Millisecond),
+	}
+	if len(s.attrs) > 0 {
+		snap.Attrs = make(map[string]any, len(s.attrs))
+		for k, v := range s.attrs {
+			snap.Attrs[k] = v
+		}
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		snap.Children = append(snap.Children, c.Snapshot())
+	}
+	return snap
+}
+
+// durationLocked is Duration with s.mu already held.
+func (s *Span) durationLocked() time.Duration {
+	if s.end.IsZero() {
+		return time.Since(s.start)
+	}
+	return s.end.Sub(s.start)
+}
+
+// spanRing retains the last maxRootSpans finished root spans.
+type spanRing struct {
+	mu    sync.Mutex
+	spans []*Span
+}
+
+var spanStore = &spanRing{}
+
+func (r *spanRing) add(s *Span) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.spans) >= maxRootSpans {
+		r.spans = r.spans[1:]
+	}
+	r.spans = append(r.spans, s)
+}
+
+// RecentSpans returns snapshots of the most recently finished root span
+// trees, oldest first.
+func RecentSpans() []SpanSnapshot {
+	spanStore.mu.Lock()
+	spans := append([]*Span(nil), spanStore.spans...)
+	spanStore.mu.Unlock()
+	out := make([]SpanSnapshot, len(spans))
+	for i, s := range spans {
+		out[i] = s.Snapshot()
+	}
+	return out
+}
+
+// ResetSpans drops all retained root spans. Intended for tests.
+func ResetSpans() {
+	spanStore.mu.Lock()
+	spanStore.spans = nil
+	spanStore.mu.Unlock()
+}

@@ -20,6 +20,7 @@ import (
 	"sync"
 
 	"asqprl/internal/nn"
+	"asqprl/internal/obs"
 )
 
 // Environment is a discrete-action, episodic environment with invalid-action
@@ -216,6 +217,32 @@ type trajectory struct {
 	reward float64 // undiscounted episode return
 }
 
+// IterationStats is the telemetry of one training iteration (one collected
+// batch plus its optimization passes). Loss terms are measured during the
+// first optimization epoch, i.e. against the policy the batch was collected
+// with.
+type IterationStats struct {
+	// Iteration is the 1-based iteration index.
+	Iteration int
+	// Episodes is the number of episodes collected this iteration.
+	Episodes int
+	// MeanReturn is the mean undiscounted episode return.
+	MeanReturn float64
+	// MeanEpisodeLen is the mean episode length in steps.
+	MeanEpisodeLen float64
+	// PolicyLoss is the mean (clipped) surrogate policy loss.
+	PolicyLoss float64
+	// ValueLoss is the mean critic squared-error loss (0 without a critic).
+	ValueLoss float64
+	// Entropy is the mean policy entropy over visited states.
+	Entropy float64
+	// ClipFraction is the fraction of steps whose importance ratio fell
+	// outside the PPO clip range (0 when clipping is disabled).
+	ClipFraction float64
+	// MeanKL is the mean KL(old || new) over visited states.
+	MeanKL float64
+}
+
 // TrainStats reports the outcome of Train.
 type TrainStats struct {
 	Episodes       int
@@ -226,6 +253,9 @@ type TrainStats struct {
 	EarlyStopped   bool
 	TotalSteps     int
 	MeanFinalSteps float64
+	// History holds one entry per iteration with the full telemetry
+	// (loss, entropy, clip fraction, KL, return, episode length).
+	History []IterationStats
 }
 
 // ProgressFunc observes training; returning false stops early. meanReturn is
@@ -263,7 +293,20 @@ func (a *Agent) Train(env Environment, maxEpisodes int, progress ProgressFunc) T
 		stats.MeanFinalSteps = steps / float64(len(trajs))
 		stats.ReturnHistory = append(stats.ReturnHistory, mean)
 
-		a.update(trajs)
+		us := a.update(trajs)
+		iter := IterationStats{
+			Iteration:      stats.Iterations,
+			Episodes:       n,
+			MeanReturn:     mean,
+			MeanEpisodeLen: stats.MeanFinalSteps,
+			PolicyLoss:     us.policyLoss,
+			ValueLoss:      us.valueLoss,
+			Entropy:        us.entropy,
+			ClipFraction:   us.clipFraction,
+			MeanKL:         us.meanKL,
+		}
+		stats.History = append(stats.History, iter)
+		recordIteration(iter, stats.BestReturn)
 
 		if progress != nil && !progress(stats.Iterations, stats.Episodes, mean) {
 			stats.EarlyStopped = true
@@ -271,6 +314,34 @@ func (a *Agent) Train(env Environment, maxEpisodes int, progress ProgressFunc) T
 		}
 	}
 	return stats
+}
+
+// recordIteration publishes one iteration's telemetry to the default obs
+// registry (series per learning-curve signal plus run counters) and the
+// structured logger. It is a no-op when observability is disabled.
+func recordIteration(it IterationStats, bestReturn float64) {
+	if obs.Enabled() {
+		reg := obs.Default()
+		reg.Counter("rl/iterations").Inc()
+		reg.Counter("rl/episodes").Add(int64(it.Episodes))
+		reg.Gauge("rl/best_return").Set(bestReturn)
+		reg.Series("rl/mean_return").Append(it.MeanReturn)
+		reg.Series("rl/policy_loss").Append(it.PolicyLoss)
+		reg.Series("rl/value_loss").Append(it.ValueLoss)
+		reg.Series("rl/entropy").Append(it.Entropy)
+		reg.Series("rl/clip_fraction").Append(it.ClipFraction)
+		reg.Series("rl/kl").Append(it.MeanKL)
+		reg.Series("rl/episode_len").Append(it.MeanEpisodeLen)
+	}
+	obs.Logger().Debug("rl iteration",
+		"iter", it.Iteration,
+		"episodes", it.Episodes,
+		"mean_return", it.MeanReturn,
+		"policy_loss", it.PolicyLoss,
+		"value_loss", it.ValueLoss,
+		"entropy", it.Entropy,
+		"clip_fraction", it.ClipFraction,
+		"kl", it.MeanKL)
 }
 
 // collect gathers n episodes using cfg.Workers parallel actor-learners. The
@@ -345,9 +416,46 @@ func (a *Agent) finishEpisode(tr *trajectory) {
 	}
 }
 
+// updateStats aggregates per-step loss telemetry over one optimization pass.
+type updateStats struct {
+	policyLoss   float64
+	valueLoss    float64
+	entropy      float64
+	clipFraction float64
+	meanKL       float64
+	n            int
+}
+
+// observe folds one step's contributions into the aggregate.
+func (u *updateStats) observe(policyLoss, valueLoss, entropy, kl float64, clipped bool) {
+	u.policyLoss += policyLoss
+	u.valueLoss += valueLoss
+	u.entropy += entropy
+	u.meanKL += kl
+	if clipped {
+		u.clipFraction++
+	}
+	u.n++
+}
+
+// finalize converts sums to means.
+func (u *updateStats) finalize() {
+	if u.n == 0 {
+		return
+	}
+	inv := 1.0 / float64(u.n)
+	u.policyLoss *= inv
+	u.valueLoss *= inv
+	u.entropy *= inv
+	u.meanKL *= inv
+	u.clipFraction *= inv
+}
+
 // update applies the PPO (or ablated) optimization over a batch of
-// trajectories.
-func (a *Agent) update(trajs []trajectory) {
+// trajectories and returns loss telemetry measured during the first epoch
+// (against the collection-time policy).
+func (a *Agent) update(trajs []trajectory) updateStats {
+	var us updateStats
 	var steps []*step
 	for ti := range trajs {
 		for si := range trajs[ti].steps {
@@ -355,7 +463,7 @@ func (a *Agent) update(trajs []trajectory) {
 		}
 	}
 	if len(steps) == 0 {
-		return
+		return us
 	}
 
 	// Advantages.
@@ -383,8 +491,12 @@ func (a *Agent) update(trajs []trajectory) {
 	for epoch := 0; epoch < a.cfg.Epochs; epoch++ {
 		actorGrads.Zero()
 		criticGrads.Zero()
+		var collect *updateStats
+		if epoch == 0 {
+			collect = &us
+		}
 		for _, s := range steps {
-			a.accumulateStep(s, actorGrads, criticGrads, inv)
+			a.accumulateStep(s, actorGrads, criticGrads, inv, collect)
 		}
 		if a.cfg.GradClip > 0 {
 			nn.ClipGrads(actorGrads, a.cfg.GradClip)
@@ -395,10 +507,13 @@ func (a *Agent) update(trajs []trajectory) {
 			a.criticOpt.Step(a.critic, criticGrads)
 		}
 	}
+	us.finalize()
+	return us
 }
 
-// accumulateStep adds the gradient contribution of one transition.
-func (a *Agent) accumulateStep(s *step, actorGrads, criticGrads *nn.Grads, scale float64) {
+// accumulateStep adds the gradient contribution of one transition. When
+// stats is non-nil it also folds the step's loss telemetry into it.
+func (a *Agent) accumulateStep(s *step, actorGrads, criticGrads *nn.Grads, scale float64, stats *updateStats) {
 	cache := a.actor.ForwardCache(s.state)
 	logits := nn.MaskLogits(cache.Output(), s.mask)
 	logp := nn.LogSoftmax(logits)
@@ -408,11 +523,14 @@ func (a *Agent) accumulateStep(s *step, actorGrads, criticGrads *nn.Grads, scale
 	ratio := math.Exp(newLogp - s.logProb)
 
 	// Policy-gradient coefficient g = dL/d(logp_action); L is minimized.
-	var g float64
+	var g, surrogateLoss float64
+	clipped := false
 	if a.cfg.ClipEpsilon > 0 {
 		lo, hi := 1-a.cfg.ClipEpsilon, 1+a.cfg.ClipEpsilon
 		surr1 := ratio * s.adv
 		surr2 := math.Max(math.Min(ratio, hi), lo) * s.adv
+		surrogateLoss = -math.Min(surr1, surr2)
+		clipped = ratio < lo || ratio > hi
 		if surr1 <= surr2 {
 			g = -ratio * s.adv // unclipped branch active
 		} else {
@@ -420,6 +538,7 @@ func (a *Agent) accumulateStep(s *step, actorGrads, criticGrads *nn.Grads, scale
 		}
 	} else {
 		g = -ratio * s.adv // plain importance-weighted policy gradient
+		surrogateLoss = g
 	}
 
 	// dLoss/dlogits via d logp_a / dz_i = δ_ai − p_i.
@@ -462,11 +581,27 @@ func (a *Agent) accumulateStep(s *step, actorGrads, criticGrads *nn.Grads, scale
 	}
 	a.actor.Backward(cache, dLogits, actorGrads)
 
+	var vLoss float64
 	if a.cfg.UseCritic {
 		cCache := a.critic.ForwardCache(s.state)
 		v := cCache.Output()[0]
 		dV := 2 * (v - s.ret) * a.cfg.ValueCoef * scale
 		a.critic.Backward(cCache, []float64{dV}, criticGrads)
+		vLoss = a.cfg.ValueCoef * (v - s.ret) * (v - s.ret)
+	}
+
+	if stats != nil {
+		var kl float64
+		for i := range p {
+			if s.mask != nil && !s.mask[i] {
+				continue
+			}
+			if s.oldDist[i] <= 0 {
+				continue
+			}
+			kl += s.oldDist[i] * (math.Log(s.oldDist[i]) - logp[i])
+		}
+		stats.observe(surrogateLoss, vLoss, nn.Entropy(p), kl, clipped)
 	}
 }
 

@@ -4,6 +4,8 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+
+	"asqprl/internal/obs"
 )
 
 // banditEnv is a one-step environment with fixed per-arm rewards.
@@ -314,4 +316,88 @@ func TestInvalidShapesPanic(t *testing.T) {
 		}
 	}()
 	NewAgent(DefaultConfig(), 1, 0)
+}
+
+// TestTrainEmitsMetrics asserts the trainer records loss/entropy/return
+// telemetry for every iteration, both in the extended TrainStats and in the
+// obs registry series.
+func TestTrainEmitsMetrics(t *testing.T) {
+	prevEnabled := obs.Enabled()
+	obs.SetEnabled(true)
+	obs.Default().Reset()
+	defer func() {
+		obs.SetEnabled(prevEnabled)
+		obs.Default().Reset()
+	}()
+
+	env := newCoverEnv()
+	cfg := DefaultConfig()
+	cfg.Seed = 3
+	cfg.Workers = 2
+	cfg.EpisodesPerIteration = 4
+	agent := NewAgent(cfg, env.StateDim(), env.NumActions())
+	stats := agent.Train(env, 20, nil)
+
+	if stats.Iterations == 0 {
+		t.Fatal("no iterations ran")
+	}
+	if len(stats.History) != stats.Iterations {
+		t.Fatalf("History has %d entries, want %d", len(stats.History), stats.Iterations)
+	}
+	for i, it := range stats.History {
+		if it.Iteration != i+1 {
+			t.Errorf("History[%d].Iteration = %d, want %d", i, it.Iteration, i+1)
+		}
+		if it.Episodes <= 0 || it.MeanEpisodeLen <= 0 {
+			t.Errorf("History[%d] missing episode accounting: %+v", i, it)
+		}
+		if it.Entropy <= 0 {
+			t.Errorf("History[%d].Entropy = %f, want > 0 for a stochastic policy", i, it.Entropy)
+		}
+		if it.ValueLoss <= 0 {
+			t.Errorf("History[%d].ValueLoss = %f, want > 0 with a critic", i, it.ValueLoss)
+		}
+		if it.ClipFraction < 0 || it.ClipFraction > 1 {
+			t.Errorf("History[%d].ClipFraction = %f out of [0,1]", i, it.ClipFraction)
+		}
+	}
+	// Return history must agree between the flat and structured series.
+	for i, r := range stats.ReturnHistory {
+		if stats.History[i].MeanReturn != r {
+			t.Fatalf("History[%d].MeanReturn = %f, ReturnHistory = %f", i, stats.History[i].MeanReturn, r)
+		}
+	}
+
+	snap := obs.Default().Snapshot()
+	for _, name := range []string{
+		"rl/mean_return", "rl/policy_loss", "rl/value_loss",
+		"rl/entropy", "rl/clip_fraction", "rl/kl", "rl/episode_len",
+	} {
+		if got := len(snap.Series[name]); got != stats.Iterations {
+			t.Errorf("series %q has %d points, want %d", name, got, stats.Iterations)
+		}
+	}
+	if snap.Counters["rl/iterations"] != int64(stats.Iterations) {
+		t.Errorf("rl/iterations = %d, want %d", snap.Counters["rl/iterations"], stats.Iterations)
+	}
+	if snap.Counters["rl/episodes"] != int64(stats.Episodes) {
+		t.Errorf("rl/episodes = %d, want %d", snap.Counters["rl/episodes"], stats.Episodes)
+	}
+}
+
+// TestTrainHistoryWithoutObs checks the extended TrainStats is populated even
+// when observability is off (it is cheap and callers rely on it).
+func TestTrainHistoryWithoutObs(t *testing.T) {
+	prevEnabled := obs.Enabled()
+	obs.SetEnabled(false)
+	defer obs.SetEnabled(prevEnabled)
+
+	env := &banditEnv{rewards: []float64{0.1, 0.9}}
+	cfg := DefaultConfig()
+	cfg.Seed = 1
+	agent := NewAgent(cfg, env.StateDim(), env.NumActions())
+	stats := agent.Train(env, 12, nil)
+	if len(stats.History) != stats.Iterations || stats.Iterations == 0 {
+		t.Fatalf("History len %d vs iterations %d", len(stats.History), stats.Iterations)
+	}
 }

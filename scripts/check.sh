@@ -1,0 +1,25 @@
+#!/usr/bin/env sh
+# check.sh — the full local gate: vet, build, race tests, smoke benches.
+# Bench results are appended (as a JSON array per run) to BENCH_<date>.json
+# in the repo root, building an in-repo perf history.
+#
+# Usage: scripts/check.sh [extra go-test args for the bench step]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> go vet ./..."
+go vet ./...
+
+echo "==> go build ./..."
+go build ./...
+
+echo "==> go test -race ./..."
+go test -race ./...
+
+bench_out="BENCH_$(date +%Y%m%d).json"
+echo "==> go test -bench=. -benchtime=1x -run='^\$' ./...  (-> ${bench_out})"
+go test -bench=. -benchtime=1x -run='^$' "$@" ./... |
+	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
+
+echo "==> all checks passed; bench results appended to ${bench_out}"
