@@ -52,6 +52,7 @@ func main() {
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and /debug/pprof on this address while experiments run")
 	timingJSON := flag.String("timing-json", "", "write a per-phase timing artifact (durations, metrics snapshot, span trees) to this file")
 	logLevel := flag.String("log", "", "emit structured logs to stderr at this level (debug, info, warn, error)")
+	expTimeout := flag.Duration("train-timeout", 0, "watchdog: abort with a diagnostic if any single experiment exceeds this wall-clock bound (0 = none)")
 	flag.Parse()
 
 	if *logLevel != "" {
@@ -111,7 +112,21 @@ func main() {
 	for _, r := range runners {
 		fmt.Printf("# %s — %s\n", r.ID, r.Description)
 		start := time.Now()
+		// The experiment runners take no context, so the timeout is a
+		// watchdog: a run that exceeds it fails loudly with the experiment
+		// named, instead of hanging a CI job until its global kill.
+		var watchdog *time.Timer
+		if *expTimeout > 0 {
+			id := r.ID
+			watchdog = time.AfterFunc(*expTimeout, func() {
+				fmt.Fprintf(os.Stderr, "asqp-bench: experiment %s exceeded -train-timeout %s\n", id, *expTimeout)
+				os.Exit(2)
+			})
+		}
 		tables, err := r.Run(params)
+		if watchdog != nil {
+			watchdog.Stop()
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", r.ID, err)
 			os.Exit(1)

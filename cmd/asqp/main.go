@@ -18,10 +18,16 @@
 //	# Observability: serve metrics, span trees and pprof while training and
 //	# emit structured logs (see the Observability section of README.md):
 //	asqp -dataset imdb -debug-addr localhost:6060 -log info -query "..."
+//
+//	# Robustness: bound training time and per-query cost; queries that trip
+//	# a guard return a typed error or a result marked "degraded":
+//	asqp -dataset imdb -train-timeout 2m -query-timeout 500ms -max-rows 10000 \
+//	     -query "SELECT * FROM title t JOIN cast_info c ON t.id = c.movie_id"
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -59,6 +65,9 @@ func main() {
 	loadFile := flag.String("load", "", "load a previously saved system instead of training")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and /debug/pprof on this address (e.g. localhost:6060); also enables metric and span recording")
 	logLevel := flag.String("log", "", "emit structured logs to stderr at this level (debug, info, warn, error)")
+	trainTimeout := flag.Duration("train-timeout", 0, "wall-clock bound on training; on expiry the partially trained system is still used (0 = none)")
+	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline; an expired query returns a deadline error (0 = none)")
+	maxRows := flag.Int("max-rows", 0, "per-query result-row budget; on a trip the partial rows are returned marked degraded (0 = unlimited)")
 	var queries queryList
 	flag.Var(&queries, "query", "query to answer after training (repeatable)")
 	flag.Parse()
@@ -111,8 +120,14 @@ func main() {
 			cfg.Episodes = *episodes
 		}
 
+		ctx := context.Background()
+		if *trainTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *trainTimeout)
+			defer cancel()
+		}
 		start := time.Now()
-		sys, err = core.Train(db, w, cfg)
+		sys, err = core.TrainContext(ctx, db, w, cfg)
 		if err != nil {
 			fatal(err)
 		}
@@ -122,6 +137,12 @@ func main() {
 			stats.PreprocessTime.Round(time.Millisecond),
 			stats.TrainTime.Round(time.Millisecond),
 			stats.SetSize, stats.Representatives, stats.Candidates)
+		if stats.RL.Canceled {
+			fmt.Println("note: training stopped at the -train-timeout; the set was built from the partially trained agent")
+		}
+		if stats.RL.Recoveries > 0 {
+			fmt.Printf("note: the divergence watchdog rolled training back %d time(s)\n", stats.RL.Recoveries)
+		}
 
 		if trainScore, err := sys.ScoreOn(w); err == nil {
 			fmt.Printf("training-workload score: %.3f\n", trainScore)
@@ -143,10 +164,11 @@ func main() {
 		fmt.Printf("saved system to %s\n", *saveFile)
 	}
 
+	qopts := core.QueryOptions{Timeout: *queryTimeout, MaxRows: *maxRows}
 	for _, q := range queries {
 		fmt.Printf("\n> %s\n", q)
 		start := time.Now()
-		res, err := sys.Query(q)
+		res, err := sys.QueryContext(context.Background(), q, qopts)
 		if err != nil {
 			fmt.Printf("  error: %v\n", err)
 			continue
@@ -154,6 +176,9 @@ func main() {
 		source := "approximation set"
 		if !res.FromApproximation {
 			source = "full database (estimator fallback)"
+		}
+		if res.Degraded {
+			source += fmt.Sprintf(" [degraded: %s]", res.DegradedReason)
 		}
 		fmt.Printf("  %d rows in %s from %s (predicted score %.2f, confidence %.2f)\n",
 			res.Table.NumRows(), time.Since(start).Round(time.Microsecond), source,

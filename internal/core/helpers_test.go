@@ -1,8 +1,14 @@
 package core
 
 import (
+	"math/rand"
+	"sync"
+	"testing"
+
 	"asqprl/internal/embed"
 	"asqprl/internal/engine"
+	"asqprl/internal/metrics"
+	"asqprl/internal/sqlparse"
 	"asqprl/internal/table"
 	"asqprl/internal/workload"
 )
@@ -14,3 +20,49 @@ func countRows(db *table.Database, q workload.Query) (int, error) {
 
 // embedderForTest returns the embedder used by estimator tests.
 func embedderForTest() embed.Embedder { return embed.Embedder{Dim: 64} }
+
+// mustParseCore parses sql or fails the test.
+func mustParseCore(t *testing.T, sql string) *sqlparse.Select {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}
+
+var (
+	trainedOnce sync.Once
+	trainedSys  *System
+	trainedErr  error
+)
+
+// trainedSystem trains one small system and caches it for the tests that only
+// need some trained system to query against.
+func trainedSystem(t *testing.T) *System {
+	t.Helper()
+	trainedOnce.Do(func() {
+		trainedSys, trainedErr = Train(testIMDB(), testWorkload(), testConfig())
+	})
+	if trainedErr != nil {
+		t.Fatalf("training shared test system: %v", trainedErr)
+	}
+	return trainedSys
+}
+
+// randomBaseline averages the Equation-1 score of draws random subsets of
+// size k, the RAN baseline of the paper's experiments.
+func randomBaseline(t *testing.T, db *table.Database, w workload.Workload, k, f, draws int) float64 {
+	t.Helper()
+	rng := rand.New(rand.NewSource(99))
+	var sum float64
+	for i := 0; i < draws; i++ {
+		rs := randomSubset(db, k, rng)
+		s, err := metrics.Score(db, rs.Materialize(db), w, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += s
+	}
+	return sum / float64(draws)
+}

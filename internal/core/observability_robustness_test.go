@@ -1,0 +1,71 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"asqprl/internal/faults"
+	"asqprl/internal/obs"
+)
+
+// TestRobustnessMetricsInSnapshot exercises the three robustness paths —
+// a degraded query, a guard trip, and a watchdog recovery — with
+// observability enabled, and asserts the counters the /metrics endpoint
+// exposes for them are present in the registry snapshot.
+func TestRobustnessMetricsInSnapshot(t *testing.T) {
+	prev := obs.Enabled()
+	obs.SetEnabled(true)
+	obs.Default().Reset()
+	t.Cleanup(func() {
+		obs.SetEnabled(prev)
+		obs.Default().Reset()
+	})
+
+	// A NaN-poisoning fault during training drives rl/recoveries.
+	faults.Enable(faults.NewSchedule(1, faults.Injection{
+		Point:    faults.PointRLUpdate,
+		Kind:     faults.KindError,
+		After:    1,
+		MaxFires: 1,
+	}))
+	sys, err := Train(testIMDB(), testWorkload(), testConfig())
+	faults.Disable()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A row-budget trip on a full-database query drives the degraded and
+	// guard-trip counters.
+	res, err := sys.QueryContext(context.Background(),
+		"SELECT * FROM name WHERE birth_year > 1800", QueryOptions{MaxRows: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded {
+		t.Fatal("expected a degraded result")
+	}
+
+	// An expired deadline drives the deadline guard-trip counter.
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	time.Sleep(2 * time.Millisecond)
+	if _, err := sys.QueryContext(ctx, "SELECT * FROM title WHERE rating > 1", QueryOptions{}); err == nil {
+		t.Fatal("expected a deadline error")
+	}
+
+	snap := obs.Default().Snapshot()
+	for _, name := range []string{
+		"core/query/degraded",
+		"core/query/guard_trips/rows",
+		"core/query/guard_trips/deadline",
+		"rl/recoveries",
+	} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %q absent from /metrics snapshot (counters: %v)", name, snap.Counters)
+		}
+	}
+	if snap.Counters["rl/recoveries"] != int64(sys.Stats().RL.Recoveries) {
+		t.Errorf("rl/recoveries = %d, want %d", snap.Counters["rl/recoveries"], sys.Stats().RL.Recoveries)
+	}
+}

@@ -2,8 +2,10 @@ package core
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/crc32"
 	"io"
 
 	"asqprl/internal/embed"
@@ -11,6 +13,19 @@ import (
 	"asqprl/internal/rl"
 	"asqprl/internal/table"
 	"asqprl/internal/workload"
+)
+
+// Snapshot framing: a fixed magic, a format version, a payload length, and a
+// CRC-32 of the payload, followed by the gob-encoded snapshot. The frame lets
+// Load reject truncated or bit-flipped files with a descriptive error instead
+// of feeding garbage to the gob decoder. Frameless input (written before the
+// frame existed) is still accepted via a legacy fallback.
+var snapMagic = [4]byte{'A', 'S', 'Q', 'P'}
+
+const (
+	snapVersion    = 2
+	snapHeaderLen  = 4 + 1 + 8 + 4 // magic + version + length + crc
+	snapMaxPayload = 1 << 31       // sanity cap against absurd length prefixes
 )
 
 // snapshot is the serialized form of a trained System. The database itself
@@ -52,7 +67,19 @@ func (s *System) Save(w io.Writer) error {
 		snap.TrainSQLs = append(snap.TrainSQLs, q.SQL)
 		snap.QueryWeights = append(snap.QueryWeights, q.Weight)
 	}
-	if err := gob.NewEncoder(w).Encode(&snap); err != nil {
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	var header [snapHeaderLen]byte
+	copy(header[:4], snapMagic[:])
+	header[4] = snapVersion
+	binary.LittleEndian.PutUint64(header[5:13], uint64(payload.Len()))
+	binary.LittleEndian.PutUint32(header[13:17], crc32.ChecksumIEEE(payload.Bytes()))
+	if _, err := w.Write(header[:]); err != nil {
+		return fmt.Errorf("core: save: %w", err)
+	}
+	if _, err := w.Write(payload.Bytes()); err != nil {
 		return fmt.Errorf("core: save: %w", err)
 	}
 	return nil
@@ -69,11 +96,67 @@ func (s *System) SaveBytes() ([]byte, error) {
 
 // Load restores a system previously written by Save, attaching it to db.
 // The database must contain the tables (with at least as many rows) that the
-// approximation set references.
+// approximation set references. Truncated or corrupted input is rejected
+// with a descriptive error — the frame's length and checksum are verified
+// before any decoding happens.
 func Load(db *table.Database, r io.Reader) (*System, error) {
-	var snap snapshot
-	if err := gob.NewDecoder(r).Decode(&snap); err != nil {
+	data, err := io.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("core: load: %w", err)
+	}
+	return LoadBytes(db, data)
+}
+
+// decodeFrame validates the snapshot frame around data and returns the gob
+// payload. Frameless (legacy) input is returned as-is.
+func decodeFrame(data []byte) ([]byte, error) {
+	if len(data) < 4 || !bytes.Equal(data[:4], snapMagic[:]) {
+		return data, nil // legacy frameless snapshot
+	}
+	if len(data) < snapHeaderLen {
+		return nil, fmt.Errorf("core: load: truncated header: %d of %d bytes", len(data), snapHeaderLen)
+	}
+	if v := data[4]; v != snapVersion {
+		return nil, fmt.Errorf("core: load: unsupported snapshot version %d (want %d)", v, snapVersion)
+	}
+	n := binary.LittleEndian.Uint64(data[5:13])
+	if n > snapMaxPayload {
+		return nil, fmt.Errorf("core: load: implausible payload length %d", n)
+	}
+	payload := data[snapHeaderLen:]
+	if uint64(len(payload)) < n {
+		return nil, fmt.Errorf("core: load: truncated payload: %d of %d bytes", len(payload), n)
+	}
+	payload = payload[:n]
+	want := binary.LittleEndian.Uint32(data[13:17])
+	if got := crc32.ChecksumIEEE(payload); got != want {
+		return nil, fmt.Errorf("core: load: checksum mismatch: %08x != %08x (corrupt snapshot)", got, want)
+	}
+	return payload, nil
+}
+
+// decodeSnapshot gob-decodes payload with a panic guard: gob panics on some
+// malformed inputs, and a corrupt file must surface as an error, not a crash.
+func decodeSnapshot(payload []byte) (snap snapshot, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("core: load: malformed snapshot: %v", r)
+		}
+	}()
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+		return snapshot{}, fmt.Errorf("core: load: decode: %w", err)
+	}
+	return snap, nil
+}
+
+func loadBytes(db *table.Database, data []byte) (*System, error) {
+	payload, err := decodeFrame(data)
+	if err != nil {
+		return nil, err
+	}
+	snap, err := decodeSnapshot(payload)
+	if err != nil {
+		return nil, err
 	}
 	if len(snap.TrainSQLs) == 0 {
 		return nil, fmt.Errorf("core: load: snapshot has no training workload")
@@ -106,10 +189,11 @@ func Load(db *table.Database, r io.Reader) (*System, error) {
 
 	// Restore networks into a fresh agent of the right shape.
 	stateDim, actions := envShape(cfg)
-	s.agent = restoreAgent(cfg, stateDim, actions, snap.Actor, snap.Critic)
-	if s.agent == nil {
-		return nil, fmt.Errorf("core: load: network shapes do not match configuration")
+	agent, err := restoreAgent(cfg, stateDim, actions, snap.Actor, snap.Critic)
+	if err != nil {
+		return nil, fmt.Errorf("core: load: %w", err)
 	}
+	s.agent = agent
 
 	// Restore the estimator from the recorded per-query scores (or refit if
 	// the snapshot predates them).
@@ -128,28 +212,38 @@ func Load(db *table.Database, r io.Reader) (*System, error) {
 
 // LoadBytes restores a system from bytes produced by SaveBytes.
 func LoadBytes(db *table.Database, data []byte) (*System, error) {
-	return Load(db, bytes.NewReader(data))
+	return loadBytes(db, data)
 }
 
 // restoreAgent reconstructs an agent and overwrites its networks with the
-// serialized parameters; it returns nil on shape mismatch.
-func restoreAgent(cfg Config, stateDim, actions int, actorBytes, criticBytes []byte) *rl.Agent {
+// serialized parameters.
+func restoreAgent(cfg Config, stateDim, actions int, actorBytes, criticBytes []byte) (agent *rl.Agent, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			agent, err = nil, fmt.Errorf("restore agent: malformed network bytes: %v", r)
+		}
+	}()
 	actor, err := nn.Unmarshal(actorBytes)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("restore actor: %w", err)
 	}
 	critic, err := nn.Unmarshal(criticBytes)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("restore critic: %w", err)
 	}
 	if actor.InputDim() != stateDim || actor.OutputDim() != actions ||
 		critic.InputDim() != stateDim || critic.OutputDim() != 1 {
-		return nil
+		return nil, fmt.Errorf("network shapes (%dx%d, %dx%d) do not match configuration (%dx%d, %dx1)",
+			actor.InputDim(), actor.OutputDim(), critic.InputDim(), critic.OutputDim(),
+			stateDim, actions, stateDim)
 	}
-	agent := rl.NewAgent(cfg.RL, stateDim, actions)
+	agent, err = rl.NewAgent(cfg.RL, stateDim, actions)
+	if err != nil {
+		return nil, fmt.Errorf("restore agent: %w", err)
+	}
 	agent.ActorParams().CopyFrom(actor)
 	agent.CriticParams().CopyFrom(critic)
-	return agent
+	return agent, nil
 }
 
 // ensurePreprocessed rebuilds the preprocessing artifacts, which are not

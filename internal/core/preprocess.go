@@ -11,6 +11,7 @@ import (
 	"asqprl/internal/cluster"
 	"asqprl/internal/embed"
 	"asqprl/internal/engine"
+	"asqprl/internal/faults"
 	"asqprl/internal/obs"
 	"asqprl/internal/relax"
 	"asqprl/internal/sample"
@@ -91,9 +92,28 @@ func Preprocess(db *table.Database, w workload.Workload, cfg Config) (*Preproces
 	return PreprocessContext(context.Background(), db, w, cfg)
 }
 
-// PreprocessContext is Preprocess with an explicit context, so the
-// preprocessing span tree nests under any span already carried by ctx (the
-// training pipeline passes its "train" span here).
+// stageCheck gates entry into one named preprocessing stage: it fires any
+// fault armed at core/preprocess/<name> and then honors cancellation, so a
+// canceled pipeline stops at the next stage boundary instead of running the
+// remaining (possibly expensive) stages to completion.
+func stageCheck(ctx context.Context, name string) error {
+	if faults.Active() {
+		if err := faults.Inject("core/preprocess/" + name); err != nil {
+			return fmt.Errorf("core: preprocess %s: %w", name, err)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("core: preprocess %s: %w", name, err)
+	}
+	return nil
+}
+
+// PreprocessContext is Preprocess with an explicit context: the preprocessing
+// span tree nests under any span already carried by ctx (the training
+// pipeline passes its "train" span here), each named stage — relax, embed,
+// select, execute, subsample — checks for cancellation at entry, and
+// representative executions run under ctx so a cancellation interrupts even a
+// long join mid-scan.
 func PreprocessContext(ctx context.Context, db *table.Database, w workload.Workload, cfg Config) (*Preprocessed, error) {
 	cfg = cfg.normalize()
 	if len(w) == 0 {
@@ -108,6 +128,9 @@ func PreprocessContext(ctx context.Context, db *table.Database, w workload.Workl
 	emb := embed.Embedder{Dim: cfg.EmbedDim}
 
 	// 1. Rewrite aggregates to SPJ and relax (lines 1-2 of Algorithm 1).
+	if err := stageCheck(ctx, "relax"); err != nil {
+		return nil, err
+	}
 	_, relaxSpan := obs.StartSpan(ctx, "preprocess/relax")
 	originals := make([]*sqlparse.Select, len(w))
 	relaxed := make([]*sqlparse.Select, len(w))
@@ -120,6 +143,9 @@ func PreprocessContext(ctx context.Context, db *table.Database, w workload.Workl
 	relaxSpan.End()
 
 	// Embed the relaxed queries for clustering.
+	if err := stageCheck(ctx, "embed"); err != nil {
+		return nil, err
+	}
 	_, embedSpan := obs.StartSpan(ctx, "preprocess/embed")
 	vecs := make([][]float64, len(w))
 	for i := range w {
@@ -128,6 +154,9 @@ func PreprocessContext(ctx context.Context, db *table.Database, w workload.Workl
 	embedSpan.End()
 
 	// 2. Representative selection by clustering the embedded queries.
+	if err := stageCheck(ctx, "select"); err != nil {
+		return nil, err
+	}
 	_, selectSpan := obs.StartSpan(ctx, "preprocess/select")
 	numReps := cfg.NumRepresentatives
 	if numReps > len(w) {
@@ -170,6 +199,9 @@ func PreprocessContext(ctx context.Context, db *table.Database, w workload.Workl
 	// result tuples define the reward (what the approximation set must
 	// cover); the relaxed query's result tuples enlarge the candidate
 	// action space beyond the known workload (challenge C4).
+	if err := stageCheck(ctx, "execute"); err != nil {
+		return nil, err
+	}
 	execCtx, execSpan := obs.StartSpan(ctx, "preprocess/execute")
 	type candInfo struct {
 		rows []table.RowID
@@ -193,7 +225,7 @@ func PreprocessContext(ctx context.Context, db *table.Database, w workload.Workl
 	for _, ci := range order {
 		orig := originals[medoids[ci]]
 		_, repSpan := obs.StartSpan(execCtx, "preprocess/execute/representative")
-		res, err := engine.ExecuteWith(db, orig, engine.Options{TrackLineage: true})
+		res, err := engine.ExecuteWithContext(ctx, db, orig, engine.Options{TrackLineage: true})
 		if err != nil {
 			repSpan.End()
 			execSpan.End()
@@ -232,7 +264,12 @@ func PreprocessContext(ctx context.Context, db *table.Database, w workload.Workl
 		// Relaxed execution: extra candidates and weakly-rewarded tracked
 		// tuples (generalization beyond the workload). Cap the lineage to
 		// keep preprocessing bounded.
-		relRes, err := engine.ExecuteWith(db, rep.Relaxed, engine.Options{TrackLineage: true})
+		relRes, err := engine.ExecuteWithContext(ctx, db, rep.Relaxed, engine.Options{TrackLineage: true})
+		if err != nil && terminal(err) {
+			repSpan.End()
+			execSpan.End()
+			return nil, fmt.Errorf("core: executing relaxed representative: %w", err)
+		}
 		if err == nil {
 			rep.RelaxedTotal = relRes.Table.NumRows()
 			relLineages := dedupeLineages(relRes.Lineage)
@@ -277,6 +314,9 @@ func PreprocessContext(ctx context.Context, db *table.Database, w workload.Workl
 	// 4. Variational subsampling of the candidate space (Section 4.2): the
 	// stratification signature is the set of representatives referencing the
 	// candidate, so candidates serving rare queries survive.
+	if err := stageCheck(ctx, "subsample"); err != nil {
+		return nil, err
+	}
 	_, subsampleSpan := obs.StartSpan(ctx, "preprocess/subsample")
 	pre.TotalCandidates = len(candOrder)
 	sigs := make([]string, len(candOrder))

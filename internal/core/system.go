@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -49,9 +50,29 @@ type System struct {
 // training, set construction (Algorithm 2), and estimator fitting — and
 // returns a queryable System.
 func Train(db *table.Database, w workload.Workload, cfg Config) (*System, error) {
+	return TrainContext(context.Background(), db, w, cfg)
+}
+
+// TrainContext is Train with cooperative cancellation and panic containment.
+// Cancellation during preprocessing aborts with the context's error; once RL
+// training has started, cancellation stops training between iterations and
+// the partially-trained agent still yields a usable (if weaker) system —
+// Stats().RL.Canceled records the interruption. Panics anywhere in the
+// training pipeline (including injected ones) are recovered into errors.
+func TrainContext(ctx context.Context, db *table.Database, w workload.Workload, cfg Config) (sys *System, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			sys = nil
+			err = fmt.Errorf("core: train panic recovered: %v", r)
+			obs.Logger().Error("train panic recovered", "panic", r)
+			if obs.Enabled() {
+				obs.Default().Counter("core/train/panics_recovered").Inc()
+			}
+		}
+	}()
 	cfg = cfg.normalize()
 	start := time.Now()
-	ctx, span := obs.StartSpan(context.Background(), "train")
+	ctx, span := obs.StartSpan(ctx, "train")
 	defer span.End()
 	obs.Logger().Info("training started",
 		"k", cfg.K, "f", cfg.F, "seed", cfg.Seed,
@@ -66,12 +87,22 @@ func Train(db *table.Database, w workload.Workload, cfg Config) (*System, error)
 
 	s := &System{cfg: cfg, db: db, train: w, pre: pre}
 	stateDim, actions := envShape(cfg)
-	s.agent = rl.NewAgent(cfg.RL, stateDim, actions)
+	s.agent, err = rl.NewAgent(cfg.RL, stateDim, actions)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	_, rlSpan := obs.StartSpan(ctx, "train/rl")
-	s.trainAgent()
+	s.trainAgent(ctx)
 	rlSpan.Annotate("iterations", s.stats.RL.Iterations)
 	rlSpan.Annotate("episodes", s.stats.RL.Episodes)
 	rlSpan.End()
+	if s.stats.RL.Canceled {
+		obs.Logger().Warn("training canceled mid-RL; building set from partial agent",
+			"iterations", s.stats.RL.Iterations, "episodes", s.stats.RL.Episodes)
+		if obs.Enabled() {
+			obs.Default().Counter("core/train/canceled").Inc()
+		}
+	}
 	s.stats.TrainTime = time.Since(preDone)
 
 	_, buildSpan := obs.StartSpan(ctx, "train/buildset")
@@ -107,8 +138,8 @@ func Train(db *table.Database, w workload.Workload, cfg Config) (*System, error)
 }
 
 // trainAgent runs RL training with optional early stopping on return
-// plateau (ASQP-Light).
-func (s *System) trainAgent() {
+// plateau (ASQP-Light), honoring ctx between iterations.
+func (s *System) trainAgent(ctx context.Context) {
 	env := NewEnvironment(s.pre, s.cfg, 0)
 	best := math.Inf(-1)
 	sinceBest := 0
@@ -124,7 +155,7 @@ func (s *System) trainAgent() {
 		sinceBest++
 		return sinceBest < s.cfg.EarlyStopPatience
 	}
-	s.stats.RL = s.agent.Train(env, s.cfg.Episodes, progress)
+	s.stats.RL = s.agent.TrainContext(ctx, env, s.cfg.Episodes, progress)
 }
 
 // rebuildSet runs Algorithm 2: rollouts of the learned policy until the
@@ -217,22 +248,94 @@ type QueryResult struct {
 	// DriftTriggered is true when this query tipped the drift detector over
 	// its threshold; callers should fine-tune (see FineTuneFromDrift).
 	DriftTriggered bool
+	// Degraded is true when the full answer could not be produced and the
+	// result is a best-effort substitute (approximation-set answer after a
+	// full-DB failure, or the partial rows before a row-budget trip). A
+	// degraded result is never silently returned as exact.
+	Degraded bool
+	// DegradedReason names the guard or fault behind the degradation:
+	// "deadline", "rows", "canceled", or "fault".
+	DegradedReason string
+}
+
+// QueryOptions bounds one query's execution and tunes the fallback ladder of
+// QueryContext.
+type QueryOptions struct {
+	// Timeout is the per-query wall-clock deadline (0 = none). It combines
+	// with any deadline already carried by the context; the earlier wins.
+	Timeout time.Duration
+	// MaxRows bounds the number of result rows (0 = unlimited). When the
+	// budget trips, the rows produced so far may be served tagged Degraded.
+	MaxRows int
+	// MaxIntermediateRows bounds join intermediates (0 = engine default).
+	MaxIntermediateRows int
+	// Retries is how many extra full-database attempts the fallback makes
+	// after a transient failure (negative disables retries; 0 = default 2).
+	Retries int
+	// Backoff is the initial delay between fallback retries, doubling each
+	// attempt (0 = default 5ms).
+	Backoff time.Duration
+}
+
+func (o QueryOptions) normalize() QueryOptions {
+	if o.Retries == 0 {
+		o.Retries = 2
+	}
+	if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Backoff <= 0 {
+		o.Backoff = 5 * time.Millisecond
+	}
+	return o
 }
 
 // Query answers sql following the inference flow of Figure 1(b): the
 // estimator predicts whether the approximation set can answer it; if so, the
 // query runs on the approximation set, otherwise on the full database.
 func (s *System) Query(sql string) (*QueryResult, error) {
+	return s.QueryContext(context.Background(), sql, QueryOptions{})
+}
+
+// QueryContext is Query with a context, per-query resource guards, and a
+// graceful-degradation ladder (see QueryStmtContext).
+func (s *System) QueryContext(ctx context.Context, sql string, opts QueryOptions) (*QueryResult, error) {
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {
 		return nil, err
 	}
-	return s.QueryStmt(stmt)
+	return s.QueryStmtContext(ctx, stmt, opts)
 }
 
 // QueryStmt is Query over a parsed statement.
 func (s *System) QueryStmt(stmt *sqlparse.Select) (*QueryResult, error) {
+	return s.QueryStmtContext(context.Background(), stmt, QueryOptions{})
+}
+
+// QueryStmtContext answers stmt under ctx and opts, degrading gracefully
+// instead of failing hard. The ladder:
+//
+//  1. If the estimator predicts the approximation set answers the query, run
+//     there first (the normal fast path).
+//  2. On failure — or when the estimator routes past the set — run on the
+//     full database, retrying transient failures with exponential backoff.
+//  3. If the full database cannot answer either, serve a best-effort
+//     substitute tagged Degraded with the guard that fired: the partial rows
+//     a row-budget trip produced, or the approximation set's answer.
+//
+// Deadline expiry and cancellation abort the ladder immediately — the caller
+// is gone, so retrying or degrading would only waste cycles; the returned
+// error wraps engine.ErrDeadline / engine.ErrCanceled. Panics anywhere in
+// the serve path (including injected ones) are recovered into errors, never
+// crashing the serving process.
+func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, opts QueryOptions) (*QueryResult, error) {
 	start := time.Now()
+	opts = opts.normalize()
+	if opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
+		defer cancel()
+	}
 	// Aggregates are estimated through their SPJ rewrite (Section 4.4).
 	estStmt := stmt
 	if stmt.HasAggregates() {
@@ -242,30 +345,159 @@ func (s *System) QueryStmt(stmt *sqlparse.Select) (*QueryResult, error) {
 	out := &QueryResult{PredictedScore: pred, Confidence: conf}
 	out.DriftTriggered = s.drift.Observe(estStmt, conf)
 
-	target := s.setDB
-	if pred < s.cfg.EstimatorThreshold {
-		target = s.db
-	} else {
-		out.FromApproximation = true
+	eopts := engine.Options{
+		MaxOutputRows:       opts.MaxRows,
+		MaxIntermediateRows: opts.MaxIntermediateRows,
 	}
-	res, err := engine.ExecuteWith(target, stmt, engine.Options{})
+	useApprox := pred >= s.cfg.EstimatorThreshold
+
+	// Rung 1: approximation set, when the estimator trusts it.
+	if useApprox {
+		res, err := s.runGuarded(ctx, s.setDB, stmt, eopts)
+		if err == nil {
+			out.FromApproximation = true
+			out.Table = res.Table
+			s.recordQuery(out, start, nil)
+			return out, nil
+		}
+		if terminal(err) {
+			s.recordQuery(nil, start, err)
+			return nil, err
+		}
+		s.noteGuardTrip(err)
+	}
+
+	// Rung 2: full database, with retry/backoff for transient failures.
+	var fullErr error
+	var partial *engine.Result
+	backoff := opts.Backoff
+	for attempt := 0; attempt <= opts.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				err := fmt.Errorf("%w: %v", engine.ErrCanceled, ctx.Err())
+				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+					err = fmt.Errorf("%w: %v", engine.ErrDeadline, ctx.Err())
+				}
+				s.recordQuery(nil, start, err)
+				return nil, err
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+			if obs.Enabled() {
+				obs.Default().Counter("core/query/retries").Inc()
+			}
+		}
+		res, err := s.runGuarded(ctx, s.db, stmt, eopts)
+		if err == nil {
+			out.FromApproximation = false
+			out.Table = res.Table
+			s.recordQuery(out, start, nil)
+			return out, nil
+		}
+		fullErr = err
+		if terminal(err) {
+			s.recordQuery(nil, start, err)
+			return nil, err
+		}
+		s.noteGuardTrip(err)
+		if res != nil && res.Table != nil {
+			partial = res // row-budget trip carried partial rows
+		}
+		if errors.Is(err, engine.ErrRowBudget) {
+			break // a budget trip repeats deterministically; don't retry
+		}
+	}
+
+	// Rung 3: tagged degraded substitute.
+	reason := engine.GuardKind(fullErr)
+	if reason == "" {
+		reason = "fault"
+	}
+	if partial != nil {
+		out.Degraded = true
+		out.DegradedReason = reason
+		out.FromApproximation = false
+		out.Table = partial.Table
+		s.recordQuery(out, start, nil)
+		return out, nil
+	}
+	if !useApprox {
+		if res, err := s.runGuarded(ctx, s.setDB, stmt, eopts); err == nil {
+			out.Degraded = true
+			out.DegradedReason = reason
+			out.FromApproximation = true
+			out.Table = res.Table
+			s.recordQuery(out, start, nil)
+			return out, nil
+		}
+	}
+	s.recordQuery(nil, start, fullErr)
+	return nil, fullErr
+}
+
+// runGuarded executes stmt on db under ctx, converting panics into errors so
+// a malformed plan or injected fault cannot crash the serving process.
+func (s *System) runGuarded(ctx context.Context, db *table.Database, stmt *sqlparse.Select, eopts engine.Options) (res *engine.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("core: query panic recovered: %v", r)
+			obs.Logger().Error("query panic recovered", "panic", r)
+			if obs.Enabled() {
+				obs.Default().Counter("core/query/panics_recovered").Inc()
+			}
+		}
+	}()
+	return engine.ExecuteWithContext(ctx, db, stmt, eopts)
+}
+
+// terminal reports whether err ends the ladder immediately: the caller's
+// deadline expired or the query was canceled.
+func terminal(err error) bool {
+	return errors.Is(err, engine.ErrDeadline) || errors.Is(err, engine.ErrCanceled) ||
+		errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// noteGuardTrip counts a non-terminal guard trip by kind.
+func (s *System) noteGuardTrip(err error) {
+	if !obs.Enabled() {
+		return
+	}
+	kind := engine.GuardKind(err)
+	if kind == "" {
+		kind = "fault"
+	}
+	obs.Default().Counter("core/query/guard_trips/" + kind).Inc()
+}
+
+// recordQuery publishes one query's outcome to observability.
+func (s *System) recordQuery(out *QueryResult, start time.Time, err error) {
+	if !obs.Enabled() {
+		return
+	}
+	reg := obs.Default()
 	if err != nil {
-		return nil, err
-	}
-	out.Table = res.Table
-	if obs.Enabled() {
-		reg := obs.Default()
-		if out.FromApproximation {
-			reg.Counter("core/query/approx").Inc()
-		} else {
-			reg.Counter("core/query/fallback").Inc()
+		if kind := engine.GuardKind(err); kind != "" {
+			reg.Counter("core/query/guard_trips/" + kind).Inc()
+			if kind == "canceled" {
+				reg.Counter("core/query/canceled").Inc()
+			}
 		}
-		if out.DriftTriggered {
-			reg.Counter("core/query/drift_triggered").Inc()
-		}
-		reg.Histogram("core/query/seconds").ObserveDuration(time.Since(start))
+		reg.Counter("core/query/errors").Inc()
+		return
 	}
-	return out, nil
+	if out.Degraded {
+		reg.Counter("core/query/degraded").Inc()
+	}
+	if out.FromApproximation {
+		reg.Counter("core/query/approx").Inc()
+	} else {
+		reg.Counter("core/query/fallback").Inc()
+	}
+	if out.DriftTriggered {
+		reg.Counter("core/query/drift_triggered").Inc()
+	}
+	reg.Histogram("core/query/seconds").ObserveDuration(time.Since(start))
 }
 
 // QueryApprox always answers from the approximation set, regardless of the
@@ -289,10 +521,16 @@ func (s *System) ScoreOn(w workload.Workload) (float64, error) {
 // (the network shapes are fixed by the config, so the learned weights carry
 // over). The approximation set and estimator are rebuilt.
 func (s *System) FineTune(newQueries workload.Workload, extraEpisodes int) error {
+	return s.FineTuneContext(context.Background(), newQueries, extraEpisodes)
+}
+
+// FineTuneContext is FineTune with cooperative cancellation: preprocessing
+// stops at stage boundaries and RL training stops between iterations.
+func (s *System) FineTuneContext(ctx context.Context, newQueries workload.Workload, extraEpisodes int) error {
 	if len(newQueries) == 0 {
 		return fmt.Errorf("core: FineTune requires at least one query")
 	}
-	ctx, span := obs.StartSpan(context.Background(), "finetune")
+	ctx, span := obs.StartSpan(ctx, "finetune")
 	defer span.End()
 	obs.Logger().Info("fine-tuning started",
 		"k", s.cfg.K, "f", s.cfg.F, "seed", s.cfg.Seed,
@@ -308,7 +546,7 @@ func (s *System) FineTune(newQueries workload.Workload, extraEpisodes int) error
 	}
 	env := NewEnvironment(s.pre, s.cfg, 0)
 	_, rlSpan := obs.StartSpan(ctx, "finetune/rl")
-	s.stats.RL = s.agent.Train(env, extraEpisodes, nil)
+	s.stats.RL = s.agent.TrainContext(ctx, env, extraEpisodes, nil)
 	rlSpan.End()
 	s.stats.FineTunes++
 	if err := s.rebuildSet(0); err != nil {

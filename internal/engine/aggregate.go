@@ -79,7 +79,7 @@ type group struct {
 }
 
 // aggregate executes the grouping/aggregation path of a SELECT.
-func aggregate(b *binder, stmt *sqlparse.Select, joined []joinedRow) (*table.Table, error) {
+func aggregate(b *binder, stmt *sqlparse.Select, joined []joinedRow, g *guard) (*table.Table, error) {
 	if stmt.Star {
 		return nil, fmt.Errorf("engine: SELECT * cannot be combined with aggregates")
 	}
@@ -106,6 +106,9 @@ func aggregate(b *binder, stmt *sqlparse.Select, joined []joinedRow) (*table.Tab
 	groups := map[string]*group{}
 	var order []string
 	for _, jr := range joined {
+		if err := g.tick(1); err != nil {
+			return nil, err
+		}
 		var kb strings.Builder
 		for _, g := range stmt.GroupBy {
 			v, err := evalExpr(g, evalEnv{b: b, row: jr})
@@ -163,6 +166,9 @@ func aggregate(b *binder, stmt *sqlparse.Select, joined []joinedRow) (*table.Tab
 			if v.IsNull() || !truthy(v) {
 				continue
 			}
+		}
+		if err := g.out(1); err != nil {
+			return nil, err
 		}
 		row := make(table.Row, len(stmt.Items))
 		for i, it := range stmt.Items {

@@ -1,10 +1,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 
+	"asqprl/internal/faults"
 	"asqprl/internal/sqlparse"
 	"asqprl/internal/table"
 )
@@ -22,8 +24,14 @@ type Result struct {
 // Options tunes execution.
 type Options struct {
 	// MaxIntermediateRows bounds the size of join intermediates; execution
-	// fails with an error when exceeded. Zero means the default (2,000,000).
+	// fails with an error wrapping ErrRowBudget when exceeded. Zero means
+	// the default (2,000,000).
 	MaxIntermediateRows int
+	// MaxOutputRows bounds the number of emitted result rows; execution
+	// stops with an error wrapping ErrRowBudget when exceeded. For SPJ
+	// queries the rows produced before the trip are returned alongside the
+	// error so callers can serve a tagged partial answer. Zero disables.
+	MaxOutputRows int
 	// TrackLineage enables per-row lineage for SPJ queries.
 	TrackLineage bool
 }
@@ -33,6 +41,12 @@ const defaultMaxIntermediate = 2_000_000
 // Execute runs stmt against db with lineage tracking enabled.
 func Execute(db *table.Database, stmt *sqlparse.Select) (*Result, error) {
 	return ExecuteWith(db, stmt, Options{TrackLineage: true})
+}
+
+// ExecuteContext runs stmt against db with lineage tracking enabled,
+// honoring ctx cancellation and deadline through cooperative per-row checks.
+func ExecuteContext(ctx context.Context, db *table.Database, stmt *sqlparse.Select) (*Result, error) {
+	return ExecuteWithContext(ctx, db, stmt, Options{TrackLineage: true})
 }
 
 // ExecuteSQL parses and executes a SQL string.
@@ -68,22 +82,38 @@ type predClass struct {
 // is enabled (see internal/obs), it records per-query latency keyed by the
 // plan shape, per-operator execution counts, and per-phase timings.
 func ExecuteWith(db *table.Database, stmt *sqlparse.Select, opts Options) (*Result, error) {
+	return ExecuteWithContext(context.Background(), db, stmt, opts)
+}
+
+// ExecuteWithContext is ExecuteWith with a query context. Every operator
+// (scan, join, project, aggregate) checks the context cooperatively every
+// guardInterval rows, so cancellation and deadlines interrupt execution
+// promptly; expired deadlines surface as errors wrapping ErrDeadline and
+// cancellations as errors wrapping ErrCanceled. When an output row budget
+// trips mid-projection, the partial rows are returned alongside the
+// ErrRowBudget error.
+func ExecuteWithContext(ctx context.Context, db *table.Database, stmt *sqlparse.Select, opts Options) (*Result, error) {
+	g := newGuard(ctx, opts)
 	if t := startQueryTimer(); t != nil {
-		res, b, preds, err := executeWith(db, stmt, opts, t)
+		res, b, preds, err := executeWith(db, stmt, opts, t, g)
 		t.finish(b, preds, stmt, err)
 		return res, err
 	}
 	// Disabled path: drop the binder and predicates immediately so the
 	// plan state does not stay live (and GC-scannable) past execution.
-	res, _, _, err := executeWith(db, stmt, opts, nil)
+	res, _, _, err := executeWith(db, stmt, opts, nil, g)
 	return res, err
 }
 
 // executeWith is the untimed execution pipeline. It returns the binder and
 // classified predicates so the caller can key metrics by plan shape.
-func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *queryTimer) (*Result, *binder, []predClass, error) {
+func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *queryTimer, g *guard) (*Result, *binder, []predClass, error) {
 	if opts.MaxIntermediateRows <= 0 {
 		opts.MaxIntermediateRows = defaultMaxIntermediate
+	}
+	// An already-expired deadline or canceled context fails before any work.
+	if err := g.poll(); err != nil {
+		return nil, nil, nil, err
 	}
 	b, err := newBinder(db, stmt)
 	if err != nil {
@@ -120,14 +150,14 @@ func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *que
 		return nil, b, nil, err
 	}
 	t.phase("plan")
-	joined, err := runJoins(b, preds, opts)
+	joined, err := runJoins(b, preds, opts, g)
 	if err != nil {
 		return nil, b, preds, err
 	}
 	t.phase("join")
 
 	if stmt.HasAggregates() {
-		out, err := aggregate(b, stmt, joined)
+		out, err := aggregate(b, stmt, joined, g)
 		if err != nil {
 			return nil, b, preds, err
 		}
@@ -138,8 +168,13 @@ func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *que
 		return res, b, preds, err
 	}
 
-	out, lineage, err := project(b, stmt, joined, opts.TrackLineage)
+	out, lineage, err := project(b, stmt, joined, opts.TrackLineage, g)
 	if err != nil {
+		// A tripped output budget still carries the rows produced so far;
+		// surface them (un-finished) so callers can serve a tagged partial.
+		if out != nil {
+			return &Result{Table: out, Lineage: lineage}, b, preds, err
+		}
 		return nil, b, preds, err
 	}
 	t.phase("project")
@@ -200,12 +235,17 @@ func classify(b *binder, stmt *sqlparse.Select) ([]predClass, error) {
 }
 
 // runJoins executes the scan + join pipeline and returns joined rows.
-func runJoins(b *binder, preds []predClass, opts Options) ([]joinedRow, error) {
+func runJoins(b *binder, preds []predClass, opts Options, g *guard) ([]joinedRow, error) {
 	n := len(b.tables)
 
 	// Per-relation filtered candidates.
 	candidates := make([][]int32, n)
 	for rel := 0; rel < n; rel++ {
+		if faults.Active() {
+			if err := faults.Inject(faults.PointEngineScan); err != nil {
+				return nil, err
+			}
+		}
 		var filters []sqlparse.Expr
 		for _, p := range preds {
 			if len(p.rels) == 1 && p.rels[0] == rel {
@@ -225,6 +265,9 @@ func runJoins(b *binder, preds []predClass, opts Options) ([]joinedRow, error) {
 			probe[i] = -1
 		}
 		for i := range rows {
+			if err := g.tick(1); err != nil {
+				return nil, err
+			}
 			probe[rel] = int32(i)
 			ok := true
 			for _, f := range filters {
@@ -268,7 +311,7 @@ func runJoins(b *binder, preds []predClass, opts Options) ([]joinedRow, error) {
 				joins = append(joins, p)
 			}
 		}
-		next, err := joinStep(b, current, candidates[rel], rel, joins, opts)
+		next, err := joinStep(b, current, candidates[rel], rel, joins, opts, g)
 		if err != nil {
 			return nil, err
 		}
@@ -296,6 +339,9 @@ func runJoins(b *binder, preds []predClass, opts Options) ([]joinedRow, error) {
 			}
 			filtered := current[:0]
 			for _, jr := range current {
+				if err := g.tick(1); err != nil {
+					return nil, err
+				}
 				v, err := evalExpr(p.expr, evalEnv{b: b, row: jr})
 				if err != nil {
 					return nil, err
@@ -313,15 +359,23 @@ func runJoins(b *binder, preds []predClass, opts Options) ([]joinedRow, error) {
 // joinStep binds relation rel into the current intermediate rows, using a
 // hash join when equi-join predicates connect it, or a cross product
 // otherwise.
-func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []predClass, opts Options) ([]joinedRow, error) {
+func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []predClass, opts Options, g *guard) ([]joinedRow, error) {
+	if faults.Active() {
+		if err := faults.Inject(faults.PointEngineJoin); err != nil {
+			return nil, err
+		}
+	}
 	if len(joins) == 0 {
 		// Cross product.
 		if len(current)*len(cand) > opts.MaxIntermediateRows {
-			return nil, fmt.Errorf("engine: cross product of %d x %d rows exceeds limit %d", len(current), len(cand), opts.MaxIntermediateRows)
+			return nil, fmt.Errorf("%w: cross product of %d x %d rows exceeds limit %d", ErrRowBudget, len(current), len(cand), opts.MaxIntermediateRows)
 		}
 		out := make([]joinedRow, 0, len(current)*len(cand))
 		for _, jr := range current {
 			for _, ri := range cand {
+				if err := g.tick(1); err != nil {
+					return nil, err
+				}
 				nr := make(joinedRow, len(jr))
 				copy(nr, jr)
 				nr[rel] = ri
@@ -347,6 +401,9 @@ func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []pre
 	build := make(map[string][]int32, len(cand))
 	var kb strings.Builder
 	for _, ri := range cand {
+		if err := g.tick(1); err != nil {
+			return nil, err
+		}
 		kb.Reset()
 		null := false
 		for _, kp := range pairs {
@@ -383,12 +440,15 @@ func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []pre
 			continue
 		}
 		for _, ri := range build[kb.String()] {
+			if err := g.tick(1); err != nil {
+				return nil, err
+			}
 			nr := make(joinedRow, len(jr))
 			copy(nr, jr)
 			nr[rel] = ri
 			out = append(out, nr)
 			if len(out) > opts.MaxIntermediateRows {
-				return nil, fmt.Errorf("engine: join intermediate exceeds limit %d rows", opts.MaxIntermediateRows)
+				return nil, fmt.Errorf("%w: join intermediate exceeds limit %d rows", ErrRowBudget, opts.MaxIntermediateRows)
 			}
 		}
 	}
@@ -396,7 +456,14 @@ func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []pre
 }
 
 // project evaluates the SELECT list over joined rows (non-aggregate path).
-func project(b *binder, stmt *sqlparse.Select, joined []joinedRow, trackLineage bool) (*table.Table, [][]table.RowID, error) {
+// When the output row budget trips, the partial table built so far is
+// returned together with the ErrRowBudget error.
+func project(b *binder, stmt *sqlparse.Select, joined []joinedRow, trackLineage bool, g *guard) (*table.Table, [][]table.RowID, error) {
+	if faults.Active() {
+		if err := faults.Inject(faults.PointEngineProject); err != nil {
+			return nil, nil, err
+		}
+	}
 	var schema table.Schema
 	var items []sqlparse.SelectItem
 	if stmt.Star {
@@ -423,6 +490,12 @@ func project(b *binder, stmt *sqlparse.Select, joined []joinedRow, trackLineage 
 		lineage = make([][]table.RowID, 0, len(joined))
 	}
 	for _, jr := range joined {
+		if err := g.tick(1); err != nil {
+			return nil, nil, err
+		}
+		if err := g.out(1); err != nil {
+			return out, lineage, err
+		}
 		var row table.Row
 		if stmt.Star {
 			row = make(table.Row, 0, len(schema))

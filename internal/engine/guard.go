@@ -1,0 +1,118 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Typed guard errors. Callers match them with errors.Is; GuardKind extracts
+// the guard name for degradation bookkeeping.
+var (
+	// ErrDeadline reports that the query's wall-clock deadline expired.
+	ErrDeadline = errors.New("engine: query deadline exceeded")
+	// ErrRowBudget reports that a per-query row budget (output or
+	// intermediate) was exceeded.
+	ErrRowBudget = errors.New("engine: row budget exceeded")
+	// ErrCanceled reports cooperative cancellation via the query context.
+	ErrCanceled = errors.New("engine: query canceled")
+)
+
+// GuardKind names the guard behind err: "deadline", "rows", "canceled", or ""
+// when err is not a guard error.
+func GuardKind(err error) string {
+	switch {
+	case errors.Is(err, ErrDeadline):
+		return "deadline"
+	case errors.Is(err, ErrRowBudget):
+		return "rows"
+	case errors.Is(err, ErrCanceled), errors.Is(err, context.Canceled):
+		return "canceled"
+	default:
+		return ""
+	}
+}
+
+// guardInterval is how many processed rows pass between cooperative
+// cancellation/deadline checks. Row counting itself is exact; only the
+// clock/context polls are amortized.
+const guardInterval = 1024
+
+// guard enforces per-query resource limits: cooperative cancellation,
+// wall-clock deadline, and output/intermediate row budgets. A nil *guard is
+// valid and disables all checks, so unguarded execution (ExecuteWith without
+// a context or budgets) pays only a nil comparison per row.
+type guard struct {
+	ctx         context.Context
+	deadline    time.Time
+	hasDeadline bool
+	maxOutput   int // 0 = unlimited
+	sinceCheck  int
+	output      int
+}
+
+// newGuard returns a guard for ctx and opts, or nil when nothing needs
+// enforcing (background-like context, no deadline, no output budget).
+func newGuard(ctx context.Context, opts Options) *guard {
+	var g *guard
+	if ctx != nil && ctx != context.Background() {
+		g = &guard{ctx: ctx}
+		if d, ok := ctx.Deadline(); ok {
+			g.deadline, g.hasDeadline = d, true
+		}
+	}
+	if opts.MaxOutputRows > 0 {
+		if g == nil {
+			g = &guard{}
+		}
+		g.maxOutput = opts.MaxOutputRows
+	}
+	return g
+}
+
+// tick accounts for n processed rows and, every guardInterval rows, polls the
+// context and deadline. It is the per-row hook of every operator loop.
+func (g *guard) tick(n int) error {
+	if g == nil {
+		return nil
+	}
+	g.sinceCheck += n
+	if g.sinceCheck < guardInterval {
+		return nil
+	}
+	g.sinceCheck = 0
+	return g.poll()
+}
+
+// poll checks context and deadline immediately (used at operator boundaries,
+// where a prompt check is worth the clock read).
+func (g *guard) poll() error {
+	if g == nil {
+		return nil
+	}
+	if g.ctx != nil {
+		if err := g.ctx.Err(); err != nil {
+			if errors.Is(err, context.DeadlineExceeded) {
+				return fmt.Errorf("%w: %v", ErrDeadline, err)
+			}
+			return fmt.Errorf("%w: %v", ErrCanceled, err)
+		}
+	}
+	if g.hasDeadline && time.Now().After(g.deadline) {
+		return ErrDeadline
+	}
+	return nil
+}
+
+// out accounts for n emitted output rows against the output budget.
+func (g *guard) out(n int) error {
+	if g == nil || g.maxOutput <= 0 {
+		return nil
+	}
+	g.output += n
+	if g.output > g.maxOutput {
+		return fmt.Errorf("%w: output exceeds %d rows", ErrRowBudget, g.maxOutput)
+	}
+	return nil
+}

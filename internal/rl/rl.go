@@ -14,11 +14,13 @@
 package rl
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sync"
 
+	"asqprl/internal/faults"
 	"asqprl/internal/nn"
 	"asqprl/internal/obs"
 )
@@ -75,6 +77,24 @@ type Config struct {
 	GradClip float64
 	// Seed makes training deterministic.
 	Seed int64
+
+	// Divergence watchdog (see TrainContext). Non-finite losses or
+	// parameters always trigger a rollback; the thresholds below add
+	// configurable triggers.
+
+	// DivergeKL triggers a rollback when an iteration's mean KL exceeds it.
+	// Zero means the default (5.0); negative disables the KL trigger.
+	DivergeKL float64
+	// EntropyFloor triggers a rollback when the mean policy entropy falls
+	// below it (policy collapse). Zero disables.
+	EntropyFloor float64
+	// CheckpointEvery is how many healthy iterations pass between in-memory
+	// checkpoints of the actor/critic. Zero means the default (5).
+	CheckpointEvery int
+	// MaxRecoveries bounds watchdog rollbacks per training run; once
+	// exhausted, training stops at the last good checkpoint instead of
+	// looping. Zero means the default (3).
+	MaxRecoveries int
 }
 
 // normalize fills defaults in place and returns the config.
@@ -111,6 +131,18 @@ func (c Config) normalize() Config {
 	if c.GradClip < 0 {
 		c.GradClip = 0
 	}
+	if c.DivergeKL == 0 {
+		c.DivergeKL = 5.0
+	}
+	if c.EntropyFloor < 0 {
+		c.EntropyFloor = 0
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 5
+	}
+	if c.MaxRecoveries <= 0 {
+		c.MaxRecoveries = 3
+	}
 	return c
 }
 
@@ -143,11 +175,13 @@ type Agent struct {
 }
 
 // NewAgent constructs an agent for environments with the given state
-// dimension and action count.
-func NewAgent(cfg Config, stateDim, numActions int) *Agent {
+// dimension and action count. A malformed shape is a returned error, not a
+// panic: agent construction sits on the serve path of model restore, where a
+// corrupt snapshot must degrade into a diagnosable failure.
+func NewAgent(cfg Config, stateDim, numActions int) (*Agent, error) {
 	cfg = cfg.normalize()
 	if stateDim <= 0 || numActions <= 0 {
-		panic(fmt.Sprintf("rl: invalid shape state=%d actions=%d", stateDim, numActions))
+		return nil, fmt.Errorf("rl: invalid network shape: state dim %d, actions %d (both must be positive)", stateDim, numActions)
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	actorSizes := append(append([]int{stateDim}, cfg.Hidden...), numActions)
@@ -162,7 +196,7 @@ func NewAgent(cfg Config, stateDim, numActions int) *Agent {
 	}
 	a.actorOpt = nn.NewAdam(a.actor, cfg.LR)
 	a.criticOpt = nn.NewAdam(a.critic, cfg.LR)
-	return a
+	return a, nil
 }
 
 // Config returns the agent's (normalized) configuration.
@@ -241,6 +275,15 @@ type IterationStats struct {
 	ClipFraction float64
 	// MeanKL is the mean KL(old || new) over visited states.
 	MeanKL float64
+	// Recovered is true when the divergence watchdog rolled this iteration
+	// back to the last good checkpoint (its update was discarded).
+	Recovered bool
+	// RecoveryReason names the divergence signal that triggered the
+	// rollback (empty when Recovered is false).
+	RecoveryReason string
+	// LR is the learning rate in effect after this iteration (halved by
+	// each recovery).
+	LR float64
 }
 
 // TrainStats reports the outcome of Train.
@@ -253,8 +296,14 @@ type TrainStats struct {
 	EarlyStopped   bool
 	TotalSteps     int
 	MeanFinalSteps float64
+	// Recoveries counts divergence-watchdog rollbacks during the run.
+	Recoveries int
+	// Canceled is true when training stopped early because the context was
+	// canceled; the stats (and the agent) reflect the completed iterations.
+	Canceled bool
 	// History holds one entry per iteration with the full telemetry
-	// (loss, entropy, clip fraction, KL, return, episode length).
+	// (loss, entropy, clip fraction, KL, return, episode length, and any
+	// watchdog recovery).
 	History []IterationStats
 }
 
@@ -266,12 +315,31 @@ type ProgressFunc func(iteration, episodes int, meanReturn float64) bool
 // env. Parallel workers each use an independent clone of env. progress may
 // be nil.
 func (a *Agent) Train(env Environment, maxEpisodes int, progress ProgressFunc) TrainStats {
+	return a.TrainContext(context.Background(), env, maxEpisodes, progress)
+}
+
+// TrainContext is Train with cooperative cancellation and a divergence
+// watchdog. Cancellation is honored between iterations: the stats of the
+// completed iterations are returned with Canceled set, leaving the agent in
+// its last consistent state (partial but usable). After every update the
+// watchdog inspects the loss telemetry and network parameters; on NaN/Inf
+// loss, KL blow-up past cfg.DivergeKL, entropy collapse below
+// cfg.EntropyFloor, or non-finite parameters it rolls actor and critic back
+// to the last good in-memory checkpoint, halves the learning rate, and
+// resumes. Every recovery is recorded in the iteration's History entry.
+func (a *Agent) TrainContext(ctx context.Context, env Environment, maxEpisodes int, progress ProgressFunc) TrainStats {
 	stats := TrainStats{BestReturn: math.Inf(-1)}
 	if maxEpisodes <= 0 {
 		return stats
 	}
 	perIter := a.cfg.EpisodesPerIteration
+	good := a.snapshot(0) // pre-training state is the first rollback target
+	sinceCkpt := 0
 	for stats.Episodes < maxEpisodes {
+		if ctx != nil && ctx.Err() != nil {
+			stats.Canceled = true
+			break
+		}
 		n := perIter
 		if rem := maxEpisodes - stats.Episodes; n > rem {
 			n = rem
@@ -293,6 +361,11 @@ func (a *Agent) Train(env Environment, maxEpisodes int, progress ProgressFunc) T
 		stats.MeanFinalSteps = steps / float64(len(trajs))
 		stats.ReturnHistory = append(stats.ReturnHistory, mean)
 
+		if faults.Active() && faults.Triggered(faults.PointRLUpdate) {
+			// Injected numeric fault: corrupt the actor so this update
+			// diverges and the watchdog must recover.
+			a.poison()
+		}
 		us := a.update(trajs)
 		iter := IterationStats{
 			Iteration:      stats.Iterations,
@@ -304,6 +377,37 @@ func (a *Agent) Train(env Environment, maxEpisodes int, progress ProgressFunc) T
 			Entropy:        us.entropy,
 			ClipFraction:   us.clipFraction,
 			MeanKL:         us.meanKL,
+			LR:             a.cfg.LR,
+		}
+
+		if reason := a.divergence(us); reason != "" {
+			iter.Recovered = true
+			iter.RecoveryReason = reason
+			stats.Recoveries++
+			if err := a.restore(good); err != nil {
+				// No viable checkpoint: stop rather than train on garbage.
+				stats.History = append(stats.History, iter)
+				break
+			}
+			a.halveLR()
+			iter.LR = a.cfg.LR
+			recordRecovery(stats.Iterations, reason, a.cfg.LR)
+			stats.History = append(stats.History, iter)
+			recordIteration(iter, stats.BestReturn)
+			if stats.Recoveries >= a.cfg.MaxRecoveries {
+				// Persistent divergence: keep the last good state instead of
+				// burning the remaining budget on a doomed run.
+				break
+			}
+			continue
+		}
+
+		sinceCkpt++
+		if sinceCkpt >= a.cfg.CheckpointEvery {
+			if ck := a.snapshot(stats.Iterations); ck != nil {
+				good = ck
+			}
+			sinceCkpt = 0
 		}
 		stats.History = append(stats.History, iter)
 		recordIteration(iter, stats.BestReturn)

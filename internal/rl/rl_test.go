@@ -105,7 +105,7 @@ func TestAgentLearnsBandit(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Seed = 1
 	cfg.LR = 0.01
-	agent := NewAgent(cfg, env.StateDim(), env.NumActions())
+	agent := mustAgent(t, cfg, env.StateDim(), env.NumActions())
 	stats := agent.Train(env, 200, nil)
 	if stats.Episodes != 200 {
 		t.Fatalf("episodes = %d", stats.Episodes)
@@ -135,7 +135,7 @@ func TestAgentLearnsSetCover(t *testing.T) {
 	cfg.Seed = 3
 	cfg.LR = 0.01
 	cfg.EntropyCoef = 0.001
-	agent := NewAgent(cfg, env.StateDim(), env.NumActions())
+	agent := mustAgent(t, cfg, env.StateDim(), env.NumActions())
 	stats := agent.Train(env, 300, nil)
 	// Optimal return: cover all 7 elements = 1.0.
 	actions, total := agent.Greedy(newCoverEnv(), 10)
@@ -150,7 +150,7 @@ func TestAgentBeatsRandomOnCover(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Seed = 5
 	cfg.LR = 0.01
-	agent := NewAgent(cfg, env.StateDim(), env.NumActions())
+	agent := mustAgent(t, cfg, env.StateDim(), env.NumActions())
 	agent.Train(env, 300, nil)
 	_, trained := agent.Greedy(newCoverEnv(), 10)
 
@@ -196,7 +196,7 @@ func TestMaskingNeverViolated(t *testing.T) {
 	env := newCoverEnv()
 	cfg := DefaultConfig()
 	cfg.Seed = 7
-	agent := NewAgent(cfg, env.StateDim(), env.NumActions())
+	agent := mustAgent(t, cfg, env.StateDim(), env.NumActions())
 	agent.Train(env, 100, nil)
 }
 
@@ -213,7 +213,7 @@ func TestAblationConfigsTrain(t *testing.T) {
 		cfg.LR = 0.01
 		mod(&cfg)
 		env := newCoverEnv()
-		agent := NewAgent(cfg, env.StateDim(), env.NumActions())
+		agent := mustAgent(t, cfg, env.StateDim(), env.NumActions())
 		stats := agent.Train(env, 60, nil)
 		if stats.Episodes != 60 || math.IsNaN(stats.FinalReturn) {
 			t.Errorf("%s: bad stats %+v", name, stats)
@@ -238,7 +238,7 @@ func TestTrainDeterministicGivenSeed(t *testing.T) {
 		cfg.Seed = 42
 		cfg.Workers = 3
 		env := newCoverEnv()
-		agent := NewAgent(cfg, env.StateDim(), env.NumActions())
+		agent := mustAgent(t, cfg, env.StateDim(), env.NumActions())
 		stats := agent.Train(env, 30, nil)
 		return stats.ReturnHistory
 	}
@@ -257,7 +257,7 @@ func TestEarlyStopCallback(t *testing.T) {
 	env := newCoverEnv()
 	cfg := DefaultConfig()
 	cfg.Seed = 2
-	agent := NewAgent(cfg, env.StateDim(), env.NumActions())
+	agent := mustAgent(t, cfg, env.StateDim(), env.NumActions())
 	calls := 0
 	stats := agent.Train(env, 1000, func(iter, eps int, ret float64) bool {
 		calls++
@@ -275,7 +275,7 @@ func TestSelectActionGreedyAndMasked(t *testing.T) {
 	env := &banditEnv{rewards: []float64{0, 1, 0}}
 	cfg := DefaultConfig()
 	cfg.Seed = 1
-	agent := NewAgent(cfg, 1, 3)
+	agent := mustAgent(t, cfg, 1, 3)
 	// With everything masked, no action is selectable.
 	if got := agent.SelectAction([]float64{1}, []bool{false, false, false}, true, nil); got != -1 {
 		t.Errorf("fully masked should return -1, got %d", got)
@@ -290,7 +290,7 @@ func TestSelectActionGreedyAndMasked(t *testing.T) {
 func TestValueAndParamsAccessors(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Seed = 1
-	agent := NewAgent(cfg, 2, 3)
+	agent := mustAgent(t, cfg, 2, 3)
 	v := agent.Value([]float64{0.5, -0.5})
 	if math.IsNaN(v) {
 		t.Error("value NaN")
@@ -302,20 +302,29 @@ func TestValueAndParamsAccessors(t *testing.T) {
 
 func TestZeroEpisodes(t *testing.T) {
 	cfg := DefaultConfig()
-	agent := NewAgent(cfg, 1, 2)
+	agent := mustAgent(t, cfg, 1, 2)
 	stats := agent.Train(&banditEnv{rewards: []float64{0, 1}}, 0, nil)
 	if stats.Episodes != 0 || stats.Iterations != 0 {
 		t.Errorf("zero-episode train produced work: %+v", stats)
 	}
 }
 
-func TestInvalidShapesPanic(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("zero action space should panic")
+// mustAgent constructs an agent, failing the test on shape errors.
+func mustAgent(t *testing.T, cfg Config, stateDim, numActions int) *Agent {
+	t.Helper()
+	agent, err := NewAgent(cfg, stateDim, numActions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return agent
+}
+
+func TestInvalidShapesError(t *testing.T) {
+	for _, shape := range [][2]int{{1, 0}, {0, 3}, {-2, 4}, {4, -1}} {
+		if _, err := NewAgent(DefaultConfig(), shape[0], shape[1]); err == nil {
+			t.Errorf("shape %v should be rejected with an error", shape)
 		}
-	}()
-	NewAgent(DefaultConfig(), 1, 0)
+	}
 }
 
 // TestTrainEmitsMetrics asserts the trainer records loss/entropy/return
@@ -335,7 +344,7 @@ func TestTrainEmitsMetrics(t *testing.T) {
 	cfg.Seed = 3
 	cfg.Workers = 2
 	cfg.EpisodesPerIteration = 4
-	agent := NewAgent(cfg, env.StateDim(), env.NumActions())
+	agent := mustAgent(t, cfg, env.StateDim(), env.NumActions())
 	stats := agent.Train(env, 20, nil)
 
 	if stats.Iterations == 0 {
@@ -395,7 +404,7 @@ func TestTrainHistoryWithoutObs(t *testing.T) {
 	env := &banditEnv{rewards: []float64{0.1, 0.9}}
 	cfg := DefaultConfig()
 	cfg.Seed = 1
-	agent := NewAgent(cfg, env.StateDim(), env.NumActions())
+	agent := mustAgent(t, cfg, env.StateDim(), env.NumActions())
 	stats := agent.Train(env, 12, nil)
 	if len(stats.History) != stats.Iterations || stats.Iterations == 0 {
 		t.Fatalf("History len %d vs iterations %d", len(stats.History), stats.Iterations)

@@ -17,6 +17,17 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Chaos gate: the randomized fault-injection sweeps (Train/Query under seeded
+# fault schedules) run under the race detector with a hard timeout, so any
+# panic, data race, or hang introduced by a change fails the gate here rather
+# than in production. The seeds are fixed inside the tests — a failure log
+# names the seed and replays deterministically.
+echo "==> chaos gate: fault-injection sweeps under -race"
+go test -race -timeout 5m -count=1 ./internal/faults/
+go test -race -timeout 5m -count=1 \
+	-run 'TestChaos|TestScanFaultInjection|TestPreprocessCancellationPerStage|TestTrainRecoversFromInjectedNaN|TestQueryPanicRecovered' \
+	./internal/core/ ./internal/engine/
+
 bench_out="BENCH_$(date +%Y%m%d).json"
 echo "==> go test -bench=. -benchtime=1x -run='^\$' ./...  (-> ${bench_out})"
 go test -bench=. -benchtime=1x -run='^$' "$@" ./... |
