@@ -1,0 +1,51 @@
+package asqprl
+
+import (
+	"testing"
+
+	"asqprl/internal/experiments"
+)
+
+func TestParseHeadlineCell(t *testing.T) {
+	cases := []struct {
+		cell string
+		want float64
+		ok   bool
+	}{
+		{"0.850", 0.850, true},
+		{"0.850±0.021", 0.850, true},
+		{"12.3ms", 12.3, true},
+		{"12.3±0.4ms", 12.3, true}, // uncertainty before the unit
+		{"12.3ms±0.4", 12.3, true}, // unit before the uncertainty
+		{"2.5s", 2.5, true},        // plain seconds
+		{"2.5±0.1s", 2.5, true},    // seconds with uncertainty
+		{"85%", 85, true},
+		{"85±3%", 85, true},
+		{"IMDB", 0, false},
+		{"ASQP-RL", 0, false},
+		{"", 0, false},
+		{"±", 0, false},
+		{"ms", 0, false},
+	}
+	for _, c := range cases {
+		got, ok := parseHeadlineCell(c.cell)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("parseHeadlineCell(%q) = %v, %v; want %v, %v", c.cell, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestHeadlinePicksFirstNumericCell(t *testing.T) {
+	tbl := &experiments.Table{
+		Title:  "t",
+		Header: []string{"Dataset", "Method", "Score", "Setup"},
+		Rows:   [][]string{{"IMDB", "ASQP-RL", "0.912±0.010", "123.4±5.6ms"}},
+	}
+	v, ok := headline([]*experiments.Table{tbl})
+	if !ok || v != 0.912 {
+		t.Fatalf("headline = %v, %v; want 0.912, true", v, ok)
+	}
+	if _, ok := headline(nil); ok {
+		t.Fatal("headline(nil) should not parse")
+	}
+}

@@ -46,14 +46,24 @@ func headline(tables []*experiments.Table) (float64, bool) {
 		return 0, false
 	}
 	for _, cell := range tables[0].Rows[0] {
-		s := strings.SplitN(cell, "±", 2)[0]
-		s = strings.TrimSuffix(s, "ms")
-		s = strings.TrimSuffix(s, "%")
-		if v, err := strconv.ParseFloat(s, 64); err == nil {
+		if v, ok := parseHeadlineCell(cell); ok {
 			return v, true
 		}
 	}
 	return 0, false
+}
+
+// parseHeadlineCell parses one rendered table cell into its leading numeric
+// value. The ± uncertainty suffix is stripped before the unit suffixes so
+// both "12.3±0.4ms" and "12.3ms±0.4" parse; "ms" must be trimmed before "s"
+// so milliseconds are not mistaken for seconds with a trailing 'm'.
+func parseHeadlineCell(cell string) (float64, bool) {
+	s := strings.SplitN(cell, "±", 2)[0]
+	for _, unit := range []string{"ms", "s", "%"} {
+		s = strings.TrimSuffix(s, unit)
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	return v, err == nil
 }
 
 // BenchmarkFig2OverallEvaluation regenerates Figure 2: score, setup time and

@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
@@ -68,6 +69,7 @@ func main() {
 	trainTimeout := flag.Duration("train-timeout", 0, "wall-clock bound on training; on expiry the partially trained system is still used (0 = none)")
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline; an expired query returns a deadline error (0 = none)")
 	maxRows := flag.Int("max-rows", 0, "per-query result-row budget; on a trip the partial rows are returned marked degraded (0 = unlimited)")
+	parallelism := flag.Int("parallelism", 0, "worker count for query execution, scoring and RL updates (0 = one per CPU, <0 = serial); results are identical for every setting")
 	var queries queryList
 	flag.Var(&queries, "query", "query to answer after training (repeatable)")
 	flag.Parse()
@@ -118,6 +120,23 @@ func main() {
 		cfg.Seed = *seed
 		if *episodes > 0 {
 			cfg.Episodes = *episodes
+		}
+		// Training results are worker-count-invariant (episode seeds are
+		// pre-derived and gradient blocks merge in index order), so the flag
+		// only changes wall-clock time — but the batch size defaults to the
+		// worker count, so pin it first or the override would change the
+		// training trajectory.
+		cfg.Parallelism = *parallelism
+		if cfg.RL.EpisodesPerIteration <= 0 {
+			cfg.RL.EpisodesPerIteration = cfg.RL.Workers
+		}
+		switch {
+		case *parallelism > 0:
+			cfg.RL.Workers = *parallelism
+		case *parallelism == 0:
+			cfg.RL.Workers = runtime.NumCPU()
+		default:
+			cfg.RL.Workers = 1
 		}
 
 		ctx := context.Background()

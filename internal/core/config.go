@@ -102,6 +102,11 @@ type Config struct {
 	// DriftCount is the number of deviating queries that triggers
 	// fine-tuning.
 	DriftCount int
+	// Parallelism is the worker count for data-parallel query execution and
+	// workload scoring (0 = one worker per CPU, <0 = serial). It does not
+	// change any result — engine operators merge in input order and scoring
+	// is per-query independent — only wall-clock.
+	Parallelism int
 	// Seed drives every random choice for reproducibility.
 	Seed int64
 }

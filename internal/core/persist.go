@@ -9,6 +9,7 @@ import (
 	"io"
 
 	"asqprl/internal/embed"
+	"asqprl/internal/metrics"
 	"asqprl/internal/nn"
 	"asqprl/internal/rl"
 	"asqprl/internal/table"
@@ -172,7 +173,7 @@ func loadBytes(db *table.Database, data []byte) (*System, error) {
 	}
 
 	cfg := snap.Config.normalize()
-	s := &System{cfg: cfg, db: db, train: w}
+	s := &System{cfg: cfg, db: db, train: w, ref: metrics.NewReferenceCache(db)}
 
 	// Validate and restore the approximation set.
 	s.set = table.NewSubset()

@@ -43,7 +43,14 @@ type System struct {
 	setDB *table.Database
 	est   *Estimator
 	drift *DriftDetector
+	ref   *metrics.ReferenceCache
 	stats Stats
+}
+
+// scoreOpts returns the system's scoring options: the shared full-database
+// reference cache plus the configured parallelism.
+func (s *System) scoreOpts() metrics.ScoreOptions {
+	return metrics.ScoreOptions{Parallelism: s.cfg.Parallelism, Cache: s.ref}
 }
 
 // Train runs the full ASQP-RL pipeline of Algorithm 1 — preprocessing, RL
@@ -85,7 +92,7 @@ func TrainContext(ctx context.Context, db *table.Database, w workload.Workload, 
 	}
 	preDone := time.Now()
 
-	s := &System{cfg: cfg, db: db, train: w, pre: pre}
+	s := &System{cfg: cfg, db: db, train: w, pre: pre, ref: metrics.NewReferenceCache(db)}
 	stateDim, actions := envShape(cfg)
 	s.agent, err = rl.NewAgent(cfg.RL, stateDim, actions)
 	if err != nil {
@@ -202,7 +209,7 @@ func (s *System) rebuildSet(reqSize int) error {
 // built set and fits the answerability estimator on them.
 func (s *System) fitEstimator() {
 	emb := embed.Embedder{Dim: s.cfg.EmbedDim}
-	scores, _ := metrics.PerQueryScores(s.db, s.setDB, s.train, s.cfg.F)
+	scores, _ := metrics.PerQueryScoresWith(s.db, s.setDB, s.train, s.cfg.F, s.scoreOpts())
 	s.est = NewEstimator(emb, s.train.Statements(), scores, s.cfg.EstimatorNeighbors, s.cfg.EstimatorThreshold)
 }
 
@@ -348,6 +355,7 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 	eopts := engine.Options{
 		MaxOutputRows:       opts.MaxRows,
 		MaxIntermediateRows: opts.MaxIntermediateRows,
+		Parallelism:         s.cfg.Parallelism,
 	}
 	useApprox := pred >= s.cfg.EstimatorThreshold
 
@@ -513,7 +521,7 @@ func (s *System) QueryApprox(stmt *sqlparse.Select) (*table.Table, error) {
 // ScoreOn evaluates the approximation set against a workload using
 // Equation 1 with the system's frame size.
 func (s *System) ScoreOn(w workload.Workload) (float64, error) {
-	return metrics.Score(s.db, s.setDB, w, s.cfg.F)
+	return metrics.ScoreWith(s.db, s.setDB, w, s.cfg.F, s.scoreOpts())
 }
 
 // FineTune merges new queries into the training workload, re-runs

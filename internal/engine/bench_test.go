@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 
 	"asqprl/internal/datagen"
@@ -56,6 +57,31 @@ func BenchmarkLineageOverhead(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkParallelThreeWay runs the three-way join at a scale where the
+// morsel-parallel scan, probe and projection paths engage, across worker
+// counts. On a single-core host the counts tie (the parallel paths only add
+// scheduling overhead); the sub-run names keep multi-core results comparable
+// across machines in the BENCH history.
+func BenchmarkParallelThreeWay(b *testing.B) {
+	db := datagen.IMDB(0.3, 1)
+	stmt := sqlparse.MustParse(benchQueries["ThreeWay"])
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			opts := Options{Parallelism: workers}
+			if workers == 1 {
+				opts.Parallelism = -1 // serial path, not a one-worker pool
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ExecuteWith(db, stmt, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkSubsetSpeedup contrasts full-database execution against the same

@@ -34,6 +34,12 @@ type Options struct {
 	MaxOutputRows int
 	// TrackLineage enables per-row lineage for SPJ queries.
 	TrackLineage bool
+	// Parallelism is the number of workers for the data-parallel operators
+	// (candidate filter scans, hash-join probe, projection). Zero means one
+	// worker per CPU; values below 1 force the serial path. Results are
+	// byte-identical for every setting: morsel outputs are merged in input
+	// order, so parallelism changes wall-clock only, never answers.
+	Parallelism int
 }
 
 const defaultMaxIntermediate = 2_000_000
@@ -68,6 +74,10 @@ func Count(db *table.Database, stmt *sqlparse.Select) (int, error) {
 	return res.Table.NumRows(), nil
 }
 
+// joinKeyPair names, for one equi-join conjunct, the key column on the
+// relation being joined in and the key column on the already-bound side.
+type joinKeyPair struct{ relCol, boundBind binding }
+
 // predClass classifies a WHERE/ON conjunct.
 type predClass struct {
 	expr sqlparse.Expr
@@ -95,6 +105,7 @@ func ExecuteWith(db *table.Database, stmt *sqlparse.Select, opts Options) (*Resu
 func ExecuteWithContext(ctx context.Context, db *table.Database, stmt *sqlparse.Select, opts Options) (*Result, error) {
 	g := newGuard(ctx, opts)
 	if t := startQueryTimer(); t != nil {
+		recordWorkers(opts.workers())
 		res, b, preds, err := executeWith(db, stmt, opts, t, g)
 		t.finish(b, preds, stmt, err)
 		return res, err
@@ -168,7 +179,7 @@ func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *que
 		return res, b, preds, err
 	}
 
-	out, lineage, err := project(b, stmt, joined, opts.TrackLineage, g)
+	out, lineage, err := project(b, stmt, joined, opts, g)
 	if err != nil {
 		// A tripped output budget still carries the rows produced so far;
 		// surface them (un-finished) so callers can serve a tagged partial.
@@ -259,6 +270,14 @@ func runJoins(b *binder, preds []predClass, opts Options, g *guard) ([]joinedRow
 			}
 		}
 		rows := b.tables[rel].Rows
+		if workers := opts.workers(); workers > 1 && len(rows) >= parallelMinRows {
+			keep, err := scanFilterParallel(b, rel, filters, g, workers)
+			if err != nil {
+				return nil, err
+			}
+			candidates[rel] = keep
+			continue
+		}
 		keep := make([]int32, 0, len(rows))
 		probe := make(joinedRow, n)
 		for i := range probe {
@@ -387,13 +406,12 @@ func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []pre
 
 	// Key extraction: for each join predicate, the column on rel's side and
 	// the column on the bound side.
-	type keyPair struct{ relCol, boundBind binding }
-	pairs := make([]keyPair, len(joins))
+	pairs := make([]joinKeyPair, len(joins))
 	for i, p := range joins {
 		if p.leftBind.rel == rel {
-			pairs[i] = keyPair{relCol: p.leftBind, boundBind: p.rightBind}
+			pairs[i] = joinKeyPair{relCol: p.leftBind, boundBind: p.rightBind}
 		} else {
-			pairs[i] = keyPair{relCol: p.rightBind, boundBind: p.leftBind}
+			pairs[i] = joinKeyPair{relCol: p.rightBind, boundBind: p.leftBind}
 		}
 	}
 
@@ -420,6 +438,12 @@ func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []pre
 		}
 		k := kb.String()
 		build[k] = append(build[k], ri)
+	}
+
+	// Probe phase: the build table is read-only from here, so the probe over
+	// the (usually much larger) intermediate side fans out across workers.
+	if workers := opts.workers(); workers > 1 && len(current) >= parallelMinRows {
+		return probeParallel(b, current, rel, pairs, build, opts, g, workers)
 	}
 
 	out := make([]joinedRow, 0, len(current))
@@ -458,7 +482,8 @@ func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []pre
 // project evaluates the SELECT list over joined rows (non-aggregate path).
 // When the output row budget trips, the partial table built so far is
 // returned together with the ErrRowBudget error.
-func project(b *binder, stmt *sqlparse.Select, joined []joinedRow, trackLineage bool, g *guard) (*table.Table, [][]table.RowID, error) {
+func project(b *binder, stmt *sqlparse.Select, joined []joinedRow, opts Options, g *guard) (*table.Table, [][]table.RowID, error) {
+	trackLineage := opts.TrackLineage
 	if faults.Active() {
 		if err := faults.Inject(faults.PointEngineProject); err != nil {
 			return nil, nil, err
@@ -484,6 +509,12 @@ func project(b *binder, stmt *sqlparse.Select, joined []joinedRow, trackLineage 
 		}
 	}
 
+	// An output-row budget must return exactly the rows produced before the
+	// trip, which is inherently serial; without one, projection fans out.
+	if workers := opts.workers(); workers > 1 && len(joined) >= parallelMinRows && (g == nil || g.maxOutput <= 0) {
+		return projectParallel(b, stmt, items, schema, joined, trackLineage, g, workers)
+	}
+
 	out := table.New("result", schema)
 	var lineage [][]table.RowID
 	if trackLineage {
@@ -496,32 +527,46 @@ func project(b *binder, stmt *sqlparse.Select, joined []joinedRow, trackLineage 
 		if err := g.out(1); err != nil {
 			return out, lineage, err
 		}
-		var row table.Row
-		if stmt.Star {
-			row = make(table.Row, 0, len(schema))
-			for rel, t := range b.tables {
-				row = append(row, t.Rows[jr[rel]]...)
-			}
-		} else {
-			row = make(table.Row, len(items))
-			for i, it := range items {
-				v, err := evalExpr(it.Expr, evalEnv{b: b, row: jr})
-				if err != nil {
-					return nil, nil, err
-				}
-				row[i] = v
-			}
+		row, err := projectRow(b, stmt, items, schema, jr)
+		if err != nil {
+			return nil, nil, err
 		}
 		out.AppendRow(row)
 		if trackLineage {
-			ids := make([]table.RowID, len(b.tables))
-			for rel := range b.tables {
-				ids[rel] = table.RowID{Table: strings.ToLower(b.tables[rel].Name), Row: int(jr[rel])}
-			}
-			lineage = append(lineage, ids)
+			lineage = append(lineage, lineageOf(b, jr))
 		}
 	}
 	return out, lineage, nil
+}
+
+// projectRow materializes one output row from a joined base row.
+func projectRow(b *binder, stmt *sqlparse.Select, items []sqlparse.SelectItem, schema table.Schema, jr joinedRow) (table.Row, error) {
+	if stmt.Star {
+		row := make(table.Row, 0, len(schema))
+		for rel, t := range b.tables {
+			row = append(row, t.Rows[jr[rel]]...)
+		}
+		return row, nil
+	}
+	row := make(table.Row, len(items))
+	for i, it := range items {
+		v, err := evalExpr(it.Expr, evalEnv{b: b, row: jr})
+		if err != nil {
+			return nil, err
+		}
+		row[i] = v
+	}
+	return row, nil
+}
+
+// lineageOf records the base-table row of every relation behind one output
+// row.
+func lineageOf(b *binder, jr joinedRow) []table.RowID {
+	ids := make([]table.RowID, len(b.tables))
+	for rel := range b.tables {
+		ids[rel] = table.RowID{Table: strings.ToLower(b.tables[rel].Name), Row: int(jr[rel])}
+	}
+	return ids
 }
 
 // inferKind guesses the output kind of an expression for schema purposes.

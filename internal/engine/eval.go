@@ -115,13 +115,25 @@ func (e evalEnv) value(bd binding) table.Value {
 	return e.b.tables[bd.rel].Rows[ri][bd.col]
 }
 
-// likeCache caches compiled LIKE patterns; LIKE nodes are shared across many
-// row evaluations of the same query.
-var likeCache sync.Map // string -> *regexp.Regexp
+// likeCacheCap bounds the LIKE-pattern memo. Workloads reuse a small set of
+// patterns across millions of row evaluations, but patterns are user input,
+// so the memo must not grow without bound; on overflow the oldest entry is
+// evicted (FIFO), which is enough because live queries re-insert their
+// pattern on the next row at worst.
+const likeCacheCap = 256
+
+var (
+	likeMu    sync.RWMutex
+	likeCache = make(map[string]*regexp.Regexp, likeCacheCap)
+	likeOrder []string // insertion order, for FIFO eviction
+)
 
 func likeRegexp(pattern string) (*regexp.Regexp, error) {
-	if re, ok := likeCache.Load(pattern); ok {
-		return re.(*regexp.Regexp), nil
+	likeMu.RLock()
+	re, ok := likeCache[pattern]
+	likeMu.RUnlock()
+	if ok {
+		return re, nil
 	}
 	var b strings.Builder
 	b.WriteString("(?is)^")
@@ -140,7 +152,17 @@ func likeRegexp(pattern string) (*regexp.Regexp, error) {
 	if err != nil {
 		return nil, fmt.Errorf("engine: bad LIKE pattern %q: %w", pattern, err)
 	}
-	likeCache.Store(pattern, re)
+	likeMu.Lock()
+	if _, exists := likeCache[pattern]; !exists {
+		for len(likeCache) >= likeCacheCap {
+			oldest := likeOrder[0]
+			likeOrder = likeOrder[1:]
+			delete(likeCache, oldest)
+		}
+		likeCache[pattern] = re
+		likeOrder = append(likeOrder, pattern)
+	}
+	likeMu.Unlock()
 	return re, nil
 }
 

@@ -6,7 +6,6 @@ import (
 
 	"asqprl/internal/baselines"
 	"asqprl/internal/core"
-	"asqprl/internal/metrics"
 )
 
 // ScaleCrossover is this reproduction's addition to the paper's evaluation:
@@ -35,7 +34,7 @@ func ScaleCrossover(p Params) ([]*Table, error) {
 			return nil, err
 		}
 		asqpSetup := time.Since(start)
-		asqp, err := metrics.Score(ds.db, sys.SetDB(), ds.test, p.F)
+		asqp, err := ds.score(sys.SetDB(), ds.test, p.F, p)
 		if err != nil {
 			return nil, err
 		}
@@ -51,7 +50,7 @@ func ScaleCrossover(p Params) ([]*Table, error) {
 				return 0, 0, err
 			}
 			setup := time.Since(start)
-			score, _ := metrics.Score(ds.db, sub.Materialize(ds.db), ds.test, p.F)
+			score, _ := ds.score(sub.Materialize(ds.db), ds.test, p.F, p)
 			return score, setup, nil
 		}
 		grePlus, grePlusSetup, err := scoreOf("GRE+")

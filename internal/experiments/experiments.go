@@ -45,6 +45,10 @@ type Params struct {
 	Seeds int
 	// BaselineBudget caps BRT/GRE search time.
 	BaselineBudget time.Duration
+	// Parallelism is the worker count for scoring and query execution
+	// (0 = one worker per CPU, <0 = serial). Results are identical for
+	// every setting; only wall-clock changes.
+	Parallelism int
 	// Seed is the base random seed.
 	Seed int64
 }
@@ -91,6 +95,7 @@ func (p Params) asqpConfig(seed int64) core.Config {
 	cfg.ActionSpaceSize = p.Actions
 	cfg.Seed = seed
 	cfg.RL.Seed = seed
+	cfg.Parallelism = p.Parallelism
 	return cfg
 }
 
@@ -200,12 +205,27 @@ func ids() []string {
 
 // --- shared helpers ---
 
-// dataset bundles a database with its workload.
+// dataset bundles a database with its workload and a reference-count cache
+// bound to the full database: every baseline scored on this dataset reuses
+// the same |q(𝒯)| counts instead of re-executing each reference query.
 type dataset struct {
 	name  string
 	db    *table.Database
 	train workload.Workload
 	test  workload.Workload
+	ref   *metrics.ReferenceCache
+}
+
+// scoreOpts returns scoring options carrying the dataset's reference cache
+// and the run's parallelism.
+func (ds dataset) scoreOpts(p Params) metrics.ScoreOptions {
+	return metrics.ScoreOptions{Parallelism: p.Parallelism, Cache: ds.ref}
+}
+
+// score evaluates Equation 1 for approx against the dataset's full database,
+// sharing cached reference counts across baselines.
+func (ds dataset) score(approx *table.Database, w workload.Workload, frameSize int, p Params) (float64, error) {
+	return metrics.ScoreWith(ds.db, approx, w, frameSize, ds.scoreOpts(p))
 }
 
 // loadDataset builds one of the named datasets with a train/test split.
@@ -234,7 +254,7 @@ func loadDataset(name string, p Params, seed int64) dataset {
 		"k", p.K,
 		"frame", p.F,
 		"seed", seed)
-	return dataset{name: name, db: db, train: train, test: test}
+	return dataset{name: name, db: db, train: train, test: test, ref: metrics.NewReferenceCache(db)}
 }
 
 // queryAvg measures the mean execution time of up to n test queries on db.

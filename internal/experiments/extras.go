@@ -61,7 +61,7 @@ func DiversityComparison(p Params) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	asqpScore, _ := metrics.Score(ds.db, sys.SetDB(), ds.test, p.F)
+	asqpScore, _ := ds.score(sys.SetDB(), ds.test, p.F, p)
 	t.AddRow("ASQP-RL", fmt.Sprintf("%.3f", asqpDiv), fmt.Sprintf("%.3f", asqpScore))
 
 	opts := baselines.Options{F: p.F, Seed: p.Seed, TimeBudget: p.BaselineBudget}
@@ -79,7 +79,7 @@ func DiversityComparison(p Params) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		score, _ := metrics.Score(ds.db, sdb, ds.test, p.F)
+		score, _ := ds.score(sdb, ds.test, p.F, p)
 		t.AddRow(name, fmt.Sprintf("%.3f", div), fmt.Sprintf("%.3f", score))
 	}
 	return []*Table{t}, nil
@@ -96,7 +96,7 @@ func AblationRepSelection(p Params) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	medoidScore, err := metrics.Score(ds.db, sysMedoid.SetDB(), ds.test, p.F)
+	medoidScore, err := ds.score(sysMedoid.SetDB(), ds.test, p.F, p)
 	if err != nil {
 		return nil, err
 	}
@@ -115,7 +115,7 @@ func AblationRepSelection(p Params) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	uniformScore, err := metrics.Score(ds.db, sysUniform.SetDB(), ds.test, p.F)
+	uniformScore, err := ds.score(sysUniform.SetDB(), ds.test, p.F, p)
 	if err != nil {
 		return nil, err
 	}
@@ -155,8 +155,8 @@ func AblationRelaxation(p Params) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		trainScore, _ := metrics.Score(ds.db, sys.SetDB(), ds.train, p.F)
-		testScore, _ := metrics.Score(ds.db, sys.SetDB(), ds.test, p.F)
+		trainScore, _ := ds.score(sys.SetDB(), ds.train, p.F, p)
+		testScore, _ := ds.score(sys.SetDB(), ds.test, p.F, p)
 		t.AddRow(v.name, fmt.Sprintf("%.3f", trainScore), fmt.Sprintf("%.3f", testScore))
 	}
 	return []*Table{t}, nil

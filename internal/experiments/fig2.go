@@ -6,7 +6,6 @@ import (
 	"asqprl/internal/baselines"
 	"asqprl/internal/core"
 	"asqprl/internal/generative"
-	"asqprl/internal/metrics"
 )
 
 // Fig2Overall regenerates Figure 2: approximation quality (Equation 1 on the
@@ -51,7 +50,7 @@ func Fig2Overall(p Params) ([]*Table, error) {
 				return nil, err
 			}
 			setup := time.Since(start)
-			score, err := metrics.Score(ds.db, sys.SetDB(), ds.test, p.F)
+			score, err := ds.score(sys.SetDB(), ds.test, p.F, p)
 			if err != nil {
 				return nil, err
 			}
@@ -64,7 +63,7 @@ func Fig2Overall(p Params) ([]*Table, error) {
 				return nil, err
 			}
 			lightSetup := time.Since(start)
-			lightScore, err := metrics.Score(ds.db, light.SetDB(), ds.test, p.F)
+			lightScore, err := ds.score(light.SetDB(), ds.test, p.F, p)
 			if err != nil {
 				return nil, err
 			}
@@ -79,7 +78,7 @@ func Fig2Overall(p Params) ([]*Table, error) {
 				return nil, err
 			}
 			vaeSetup := time.Since(start)
-			vaeScore, _ := metrics.Score(ds.db, gen, ds.test, p.F)
+			vaeScore, _ := ds.score(gen, ds.test, p.F, p)
 			record("VAE", vaeScore, vaeSetup, queryAvg(gen, ds.test, 10))
 
 			// Subset baselines.
@@ -92,7 +91,7 @@ func Fig2Overall(p Params) ([]*Table, error) {
 				}
 				bSetup := time.Since(start)
 				sdb := sub.Materialize(ds.db)
-				bScore, _ := metrics.Score(ds.db, sdb, ds.test, p.F)
+				bScore, _ := ds.score(sdb, ds.test, p.F, p)
 				record(b.Name(), bScore, bSetup, queryAvg(sdb, ds.test, 10))
 			}
 		}

@@ -4,7 +4,6 @@ import (
 	"time"
 
 	"asqprl/internal/core"
-	"asqprl/internal/metrics"
 )
 
 // Fig3Ablation regenerates Figure 3: the RL ablation over environments
@@ -58,11 +57,11 @@ func Fig3Ablation(p Params) ([]*Table, error) {
 						return nil, err
 					}
 					elapsed := time.Since(start)
-					trainScore, err := metrics.Score(ds.db, sys.SetDB(), ds.train, p.F)
+					trainScore, err := ds.score(sys.SetDB(), ds.train, p.F, p)
 					if err != nil {
 						return nil, err
 					}
-					score, err := metrics.Score(ds.db, sys.SetDB(), ds.test, p.F)
+					score, err := ds.score(sys.SetDB(), ds.test, p.F, p)
 					if err != nil {
 						return nil, err
 					}

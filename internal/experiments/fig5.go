@@ -40,7 +40,7 @@ func Fig5Estimator(p Params) ([]*Table, error) {
 		}
 		// Ground truth: actual per-query score on the approximation set,
 		// thresholded at 0.5 as in the paper.
-		actualScores, _ := metrics.PerQueryScores(ds.db, sys.SetDB(), evalSet, p.F)
+		actualScores, _ := metrics.PerQueryScoresWith(ds.db, sys.SetDB(), evalSet, p.F, ds.scoreOpts(p))
 		actual := make([]bool, len(evalSet))
 		predicted := make([]bool, len(evalSet))
 		for i, q := range evalSet {
@@ -76,7 +76,7 @@ func Fig5Estimator(p Params) ([]*Table, error) {
 				// Exact answer.
 				total += 1
 			} else {
-				scores, _ := metrics.PerQueryScores(ds.db, fullSys.SetDB(), ds.test.Subset([]int{i}), p.F)
+				scores, _ := metrics.PerQueryScoresWith(ds.db, fullSys.SetDB(), ds.test.Subset([]int{i}), p.F, ds.scoreOpts(p))
 				if len(scores) > 0 {
 					total += scores[0]
 				}

@@ -8,7 +8,6 @@ import (
 	"asqprl/internal/cluster"
 	"asqprl/internal/core"
 	"asqprl/internal/embed"
-	"asqprl/internal/metrics"
 	"asqprl/internal/workload"
 )
 
@@ -44,12 +43,12 @@ func Fig6NoWorkload(p Params) ([]*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	ranScore, _ := metrics.Score(ds.db, ranSub.Materialize(ds.db), interest, p.F)
+	ranScore, _ := ds.score(ranSub.Materialize(ds.db), interest, p.F, p)
 	qrdSub, err := (baselines.QRD{}).Build(ds.db, nil, p.K, opts)
 	if err != nil {
 		return nil, err
 	}
-	qrdScore, _ := metrics.Score(ds.db, qrdSub.Materialize(ds.db), interest, p.F)
+	qrdScore, _ := ds.score(qrdSub.Materialize(ds.db), interest, p.F, p)
 
 	t := &Table{
 		Title:  "Figure 6: unknown workload on FLIGHTS — quality per refinement iteration",

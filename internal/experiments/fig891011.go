@@ -6,7 +6,6 @@ import (
 
 	"asqprl/internal/baselines"
 	"asqprl/internal/core"
-	"asqprl/internal/metrics"
 )
 
 // sweepBaselines are the comparison methods shown in the k and F sweeps.
@@ -35,7 +34,7 @@ func Fig8MemorySweep(p Params) ([]*Table, error) {
 		if _, err := sys.BuildSet(k); err != nil {
 			return nil, err
 		}
-		asqp, err := metrics.Score(ds.db, sys.SetDB(), ds.test, p.F)
+		asqp, err := ds.score(sys.SetDB(), ds.test, p.F, p)
 		if err != nil {
 			return nil, err
 		}
@@ -49,7 +48,7 @@ func Fig8MemorySweep(p Params) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			score, _ := metrics.Score(ds.db, sub.Materialize(ds.db), ds.test, p.F)
+			score, _ := ds.score(sub.Materialize(ds.db), ds.test, p.F, p)
 			row = append(row, fmt.Sprintf("%.3f", score))
 		}
 		t.AddRow(row...)
@@ -76,7 +75,7 @@ func Fig9FrameSweep(p Params) ([]*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		asqp, err := metrics.Score(ds.db, sys.SetDB(), ds.test, f)
+		asqp, err := ds.score(sys.SetDB(), ds.test, f, p)
 		if err != nil {
 			return nil, err
 		}
@@ -88,7 +87,7 @@ func Fig9FrameSweep(p Params) ([]*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			score, _ := metrics.Score(ds.db, sub.Materialize(ds.db), ds.test, f)
+			score, _ := ds.score(sub.Materialize(ds.db), ds.test, f, p)
 			row = append(row, fmt.Sprintf("%.3f", score))
 		}
 		t.AddRow(row...)
@@ -119,11 +118,11 @@ func Fig10TrainingSetSize(p Params) ([]*Table, error) {
 			return nil, err
 		}
 		elapsed := time.Since(start)
-		trainScore, err := metrics.Score(ds.db, sys.SetDB(), ds.train, p.F)
+		trainScore, err := ds.score(sys.SetDB(), ds.train, p.F, p)
 		if err != nil {
 			return nil, err
 		}
-		score, err := metrics.Score(ds.db, sys.SetDB(), ds.test, p.F)
+		score, err := ds.score(sys.SetDB(), ds.test, p.F, p)
 		if err != nil {
 			return nil, err
 		}
@@ -149,11 +148,11 @@ func Fig11Hyperparams(p Params) ([]*Table, error) {
 		if err != nil {
 			return 0, 0, err
 		}
-		trainScore, err := metrics.Score(ds.db, sys.SetDB(), ds.train, p.F)
+		trainScore, err := ds.score(sys.SetDB(), ds.train, p.F, p)
 		if err != nil {
 			return 0, 0, err
 		}
-		testScore, err := metrics.Score(ds.db, sys.SetDB(), ds.test, p.F)
+		testScore, err := ds.score(sys.SetDB(), ds.test, p.F, p)
 		return trainScore, testScore, err
 	}
 

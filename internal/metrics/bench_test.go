@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"testing"
+
+	"asqprl/internal/datagen"
+	"asqprl/internal/table"
+	"asqprl/internal/workload"
+)
+
+// Fig2-style scoring workload: every baseline comparison evaluates a test
+// workload against the full IMDB database, so this is the harness's hot loop.
+// The sub-benchmarks isolate the two optimizations of the scoring path: the
+// per-query worker-pool fan-out and the reference-count cache shared across
+// baselines.
+
+func benchScoringFixture(b *testing.B) (*table.Database, *table.Database, workload.Workload) {
+	b.Helper()
+	db := datagen.IMDB(0.15, 1)
+	w := workload.IMDB(36, 101)
+	sub := table.NewSubset()
+	for _, t := range db.Tables() {
+		for i := 0; i < t.NumRows(); i += 25 { // keep 4%
+			sub.Add(table.RowID{Table: t.Name, Row: i})
+		}
+	}
+	return db, sub.Materialize(db), w
+}
+
+func benchScore(b *testing.B, opts ScoreOptions) {
+	db, approx, w := benchScoringFixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScoreWith(db, approx, w, 50, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2WorkloadScoringSerial is the pre-change baseline: one query at
+// a time, every reference count recomputed.
+func BenchmarkFig2WorkloadScoringSerial(b *testing.B) {
+	benchScore(b, ScoreOptions{Parallelism: -1})
+}
+
+// BenchmarkFig2WorkloadScoringParallel4 fans queries out over 4 workers.
+func BenchmarkFig2WorkloadScoringParallel4(b *testing.B) {
+	benchScore(b, ScoreOptions{Parallelism: 4})
+}
+
+// BenchmarkFig2WorkloadScoringCached scores with a pre-warmed reference
+// cache, the steady state of the 11-baseline harness where every baseline
+// after the first reuses the full-database counts.
+func BenchmarkFig2WorkloadScoringCached(b *testing.B) {
+	db, approx, w := benchScoringFixture(b)
+	cache := NewReferenceCache(db)
+	opts := ScoreOptions{Parallelism: 4, Cache: cache}
+	if _, err := ScoreWith(db, approx, w, 50, opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ScoreWith(db, approx, w, 50, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -8,11 +8,41 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"asqprl/internal/engine"
 	"asqprl/internal/table"
 	"asqprl/internal/workload"
 )
+
+// ScoreOptions tunes workload scoring.
+type ScoreOptions struct {
+	// Parallelism is the number of workers evaluating queries concurrently.
+	// Zero means one worker per CPU; values below 1 force serial evaluation.
+	// Scores are computed independently per query, so the results are
+	// identical for every setting.
+	Parallelism int
+	// Cache, when non-nil, memoizes full-database result counts across calls
+	// (see ReferenceCache). The cache is consulted only when it is bound to
+	// the same full database being scored against.
+	Cache *ReferenceCache
+}
+
+func (o ScoreOptions) workers(n int) int {
+	w := o.Parallelism
+	if w == 0 {
+		w = runtime.NumCPU()
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
 
 // Score computes Equation 1 of the paper:
 //
@@ -28,7 +58,12 @@ import (
 // the paper's own evaluation (which reports scores near 1), we interpret the
 // leading 1/|Q| as already folded into the normalized weights.
 func Score(full, approx *table.Database, w workload.Workload, frameSize int) (float64, error) {
-	scores, err := PerQueryScores(full, approx, w, frameSize)
+	return ScoreWith(full, approx, w, frameSize, ScoreOptions{})
+}
+
+// ScoreWith is Score with explicit parallelism and reference-count caching.
+func ScoreWith(full, approx *table.Database, w workload.Workload, frameSize int, opts ScoreOptions) (float64, error) {
+	scores, err := PerQueryScoresWith(full, approx, w, frameSize, opts)
 	if scores == nil {
 		return 0, err
 	}
@@ -44,26 +79,36 @@ func Score(full, approx *table.Database, w workload.Workload, frameSize int) (fl
 // joined (errors.Join) into the returned error, with the scores slice still
 // valid. scores is nil only when frameSize is invalid.
 func PerQueryScores(full, approx *table.Database, w workload.Workload, frameSize int) ([]float64, error) {
+	return PerQueryScoresWith(full, approx, w, frameSize, ScoreOptions{})
+}
+
+// PerQueryScoresWith is PerQueryScores with explicit parallelism and
+// reference-count caching. Queries fan out across a worker pool; each query's
+// score is computed independently, and failures are joined in workload order,
+// so the output (scores and error) is identical for every parallelism
+// setting.
+func PerQueryScoresWith(full, approx *table.Database, w workload.Workload, frameSize int, opts ScoreOptions) ([]float64, error) {
 	if frameSize <= 0 {
 		return nil, fmt.Errorf("metrics: frame size must be positive, got %d", frameSize)
 	}
 	scores := make([]float64, len(w))
-	var errs []error
-	for i, q := range w {
-		fullCount, err := engine.Count(full, q.Stmt)
+	qerrs := make([]error, len(w))
+	scoreOne := func(i int) {
+		q := w[i]
+		fullCount, err := opts.Cache.FullCount(full, q)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("metrics: query %q on full db: %w", q.SQL, err))
-			continue
+			qerrs[i] = fmt.Errorf("metrics: query %q on full db: %w", q.SQL, err)
+			return
 		}
 		if fullCount == 0 {
 			// A query with an empty true answer is trivially answered.
 			scores[i] = 1
-			continue
+			return
 		}
 		approxCount, err := engine.Count(approx, q.Stmt)
 		if err != nil {
-			errs = append(errs, fmt.Errorf("metrics: query %q on approximation set: %w", q.SQL, err))
-			continue
+			qerrs[i] = fmt.Errorf("metrics: query %q on approximation set: %w", q.SQL, err)
+			return
 		}
 		denom := frameSize
 		if fullCount < denom {
@@ -71,7 +116,29 @@ func PerQueryScores(full, approx *table.Database, w workload.Workload, frameSize
 		}
 		scores[i] = math.Min(1, float64(approxCount)/float64(denom))
 	}
-	return scores, errors.Join(errs...)
+	if workers := opts.workers(len(w)); workers > 1 {
+		var cursor atomic.Int64
+		var wg sync.WaitGroup
+		for p := 0; p < workers; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(cursor.Add(1)) - 1
+					if i >= len(w) {
+						return
+					}
+					scoreOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range w {
+			scoreOne(i)
+		}
+	}
+	return scores, errors.Join(qerrs...)
 }
 
 // RelativeError computes |pred − truth| / |truth| (Equation 2). When truth

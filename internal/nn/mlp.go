@@ -166,12 +166,8 @@ func (m *MLP) NewGrads() *Grads {
 // Zero resets all gradients to zero.
 func (g *Grads) Zero() {
 	for l := range g.W {
-		for i := range g.W[l] {
-			g.W[l][i] = 0
-		}
-		for i := range g.B[l] {
-			g.B[l][i] = 0
-		}
+		clear(g.W[l])
+		clear(g.B[l])
 	}
 }
 

@@ -1,0 +1,74 @@
+package rl
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// trainLossSeries trains a fresh agent on the cover environment with the
+// given worker count and returns the per-iteration telemetry.
+func trainLossSeries(t *testing.T, workers int) []IterationStats {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Seed = 7
+	cfg.Workers = workers
+	cfg.EpisodesPerIteration = 8
+	env := newCoverEnv()
+	agent := mustAgent(t, cfg, env.StateDim(), env.NumActions())
+	stats := agent.Train(env, 40, nil)
+	if stats.Iterations == 0 {
+		t.Fatal("no iterations ran")
+	}
+	return stats.History
+}
+
+// TestTrainWorkerCountDeterminism checks the PPO loss series is bit-identical
+// across worker counts and GOMAXPROCS settings: episode seeds are pre-derived
+// per index and gradient blocks merge in fixed index order, so neither knob
+// may change a single float.
+func TestTrainWorkerCountDeterminism(t *testing.T) {
+	ref := trainLossSeries(t, 1)
+	for _, procs := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("gomaxprocs=%d", procs), func(t *testing.T) {
+			defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			for _, workers := range []int{1, 3, 8} {
+				got := trainLossSeries(t, workers)
+				if len(got) != len(ref) {
+					t.Fatalf("workers=%d: %d iterations, want %d", workers, len(got), len(ref))
+				}
+				for i := range got {
+					g, r := got[i], ref[i]
+					if g.PolicyLoss != r.PolicyLoss || g.ValueLoss != r.ValueLoss ||
+						g.Entropy != r.Entropy || g.MeanKL != r.MeanKL ||
+						g.ClipFraction != r.ClipFraction || g.MeanReturn != r.MeanReturn {
+						t.Fatalf("workers=%d iter %d: %+v != reference %+v", workers, i, g, r)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestUpdateStatsMerge checks block-stat merging is a plain sum that
+// finalizes to the same means as one flat aggregate.
+func TestUpdateStatsMerge(t *testing.T) {
+	var flat, a, b updateStats
+	obs := [][5]float64{{1, 2, 3, 4, 0}, {5, 6, 7, 8, 1}, {9, 10, 11, 12, 1}}
+	for i, o := range obs {
+		flat.observe(o[0], o[1], o[2], o[3], o[4] != 0)
+		if i < 2 {
+			a.observe(o[0], o[1], o[2], o[3], o[4] != 0)
+		} else {
+			b.observe(o[0], o[1], o[2], o[3], o[4] != 0)
+		}
+	}
+	var merged updateStats
+	merged.merge(a)
+	merged.merge(b)
+	flat.finalize()
+	merged.finalize()
+	if flat != merged {
+		t.Fatalf("merged stats %+v != flat %+v", merged, flat)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"math"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 
 	"asqprl/internal/faults"
 	"asqprl/internal/nn"
@@ -542,6 +543,17 @@ func (u *updateStats) observe(policyLoss, valueLoss, entropy, kl float64, clippe
 	u.n++
 }
 
+// merge folds another aggregate (one block's raw sums) into u. Both sides
+// must hold pre-finalize sums.
+func (u *updateStats) merge(o updateStats) {
+	u.policyLoss += o.policyLoss
+	u.valueLoss += o.valueLoss
+	u.entropy += o.entropy
+	u.meanKL += o.meanKL
+	u.clipFraction += o.clipFraction
+	u.n += o.n
+}
+
 // finalize converts sums to means.
 func (u *updateStats) finalize() {
 	if u.n == 0 {
@@ -555,9 +567,53 @@ func (u *updateStats) finalize() {
 	u.clipFraction *= inv
 }
 
+// gradBlockSize is the number of consecutive batch steps whose gradient
+// contributions are accumulated into one block buffer. Blocks — not workers —
+// define the floating-point summation order: each block is summed serially
+// into its own buffer and the buffers are merged in block index order, so the
+// gradients (and therefore the whole loss series) are bit-identical for every
+// Workers setting and GOMAXPROCS. The serial path walks the same blocks for
+// exactly this reason.
+const gradBlockSize = 64
+
+// forEachStep applies fn to every step, fanning out across cfg.Workers for
+// large batches. fn must touch only its own step, so parallelism never
+// changes the outcome.
+func (a *Agent) forEachStep(steps []*step, fn func(*step)) {
+	workers := a.cfg.Workers
+	if workers > len(steps) {
+		workers = len(steps)
+	}
+	if workers <= 1 {
+		for _, s := range steps {
+			fn(s)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= len(steps) {
+					return
+				}
+				fn(steps[i])
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // update applies the PPO (or ablated) optimization over a batch of
 // trajectories and returns loss telemetry measured during the first epoch
-// (against the collection-time policy).
+// (against the collection-time policy). Gradient accumulation is
+// data-parallel across fixed step blocks (see gradBlockSize); the networks
+// are only read until the merged gradients are applied, so sharing them
+// across workers is safe.
 func (a *Agent) update(trajs []trajectory) updateStats {
 	var us updateStats
 	var steps []*step
@@ -572,9 +628,9 @@ func (a *Agent) update(trajs []trajectory) updateStats {
 
 	// Advantages.
 	if a.cfg.UseCritic {
-		for _, s := range steps {
+		a.forEachStep(steps, func(s *step) {
 			s.adv = s.ret - a.critic.Forward(s.state)[0]
-		}
+		})
 	} else {
 		// REINFORCE ablation: batch-mean baseline only.
 		var mean float64
@@ -588,19 +644,77 @@ func (a *Agent) update(trajs []trajectory) updateStats {
 	}
 	normalizeAdvantages(steps)
 
+	numBlocks := (len(steps) + gradBlockSize - 1) / gradBlockSize
+	actorBufs := make([]*nn.Grads, numBlocks)
+	criticBufs := make([]*nn.Grads, numBlocks)
+	for i := range actorBufs {
+		actorBufs[i] = a.actor.NewGrads()
+		criticBufs[i] = a.critic.NewGrads()
+	}
+	blockStats := make([]updateStats, numBlocks)
 	actorGrads := a.actor.NewGrads()
 	criticGrads := a.critic.NewGrads()
 	inv := 1.0 / float64(len(steps))
 
+	workers := a.cfg.Workers
+	if workers > numBlocks {
+		workers = numBlocks
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
 	for epoch := 0; epoch < a.cfg.Epochs; epoch++ {
+		first := epoch == 0
+		runBlock := func(bi int) {
+			lo := bi * gradBlockSize
+			hi := lo + gradBlockSize
+			if hi > len(steps) {
+				hi = len(steps)
+			}
+			actorBufs[bi].Zero()
+			criticBufs[bi].Zero()
+			var collect *updateStats
+			if first {
+				blockStats[bi] = updateStats{}
+				collect = &blockStats[bi]
+			}
+			for _, s := range steps[lo:hi] {
+				a.accumulateStep(s, actorBufs[bi], criticBufs[bi], inv, collect)
+			}
+		}
+		if workers > 1 {
+			var cursor atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for {
+						bi := int(cursor.Add(1)) - 1
+						if bi >= numBlocks {
+							return
+						}
+						runBlock(bi)
+					}
+				}()
+			}
+			wg.Wait()
+		} else {
+			for bi := 0; bi < numBlocks; bi++ {
+				runBlock(bi)
+			}
+		}
 		actorGrads.Zero()
 		criticGrads.Zero()
-		var collect *updateStats
-		if epoch == 0 {
-			collect = &us
+		for bi := 0; bi < numBlocks; bi++ {
+			actorGrads.Add(actorBufs[bi])
+			criticGrads.Add(criticBufs[bi])
 		}
-		for _, s := range steps {
-			a.accumulateStep(s, actorGrads, criticGrads, inv, collect)
+		if first {
+			for bi := 0; bi < numBlocks; bi++ {
+				us.merge(blockStats[bi])
+			}
 		}
 		if a.cfg.GradClip > 0 {
 			nn.ClipGrads(actorGrads, a.cfg.GradClip)

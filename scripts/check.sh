@@ -17,6 +17,13 @@ go build ./...
 echo "==> go test -race ./..."
 go test -race ./...
 
+# Parallelism gate: the data-parallel operators (morsel scans, join probe,
+# projection), the scoring worker pool, and the blocked PPO gradient
+# accumulation must stay race-free and worker-count-deterministic. -count=1
+# defeats the test cache so the determinism sweeps actually rerun.
+echo "==> parallelism gate: engine/metrics/rl under -race"
+go test -race -count=1 ./internal/engine/ ./internal/metrics/ ./internal/rl/
+
 # Chaos gate: the randomized fault-injection sweeps (Train/Query under seeded
 # fault schedules) run under the race detector with a hard timeout, so any
 # panic, data race, or hang introduced by a change fails the gate here rather
@@ -28,9 +35,12 @@ go test -race -timeout 5m -count=1 \
 	-run 'TestChaos|TestScanFaultInjection|TestPreprocessCancellationPerStage|TestTrainRecoversFromInjectedNaN|TestQueryPanicRecovered' \
 	./internal/core/ ./internal/engine/
 
+# Bench smoke: the Fig2 benches cover the scoring hot loop (serial vs
+# parallel vs reference-cached) plus the end-to-end Figure 2 harness; pass
+# extra args (e.g. -bench=.) to widen the sweep.
 bench_out="BENCH_$(date +%Y%m%d).json"
-echo "==> go test -bench=. -benchtime=1x -run='^\$' ./...  (-> ${bench_out})"
-go test -bench=. -benchtime=1x -run='^$' "$@" ./... |
+echo "==> go test -bench=Fig2 -benchtime=1x -run='^\$' ./...  (-> ${bench_out})"
+go test -bench=Fig2 -benchtime=1x -run='^$' "$@" ./... |
 	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
 
 echo "==> all checks passed; bench results appended to ${bench_out}"
