@@ -1,0 +1,212 @@
+// Command asqp-loadgen is a closed-loop load generator for asqp-serve: N
+// concurrent clients each fire queries back-to-back at the server for a fixed
+// duration, and the run's throughput, latency quantiles, and shed rate are
+// printed and optionally appended as JSON to the BENCH_<date>.json history
+// (same file the benchjson gate writes).
+//
+// Closed-loop means offered load scales with -clients relative to the
+// server's -max-inflight: clients = 4x max-inflight probes the shedding
+// behavior at 4x capacity.
+//
+// Usage:
+//
+//	asqp-serve -dataset imdb -light -max-inflight 8 &
+//	asqp-loadgen -url http://localhost:8080 -clients 32 -duration 10s \
+//	    -json BENCH_$(date +%Y%m%d).json
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+type result struct {
+	Name       string  `json:"name"`
+	Clients    int     `json:"clients"`
+	Duration   string  `json:"duration"`
+	Requests   int64   `json:"iterations"`
+	QPS        float64 `json:"qps"`
+	NsPerOp    float64 `json:"ns_per_op"` // mean latency, benchjson-compatible
+	P50Ms      float64 `json:"p50_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	OK         int64   `json:"ok"`
+	Degraded   int64   `json:"degraded"`
+	Shed       int64   `json:"shed"`
+	Errors     int64   `json:"errors"`
+	Malformed  int64   `json:"malformed"`
+	ShedRate   float64 `json:"shed_rate"`
+	DegradRate float64 `json:"degraded_rate"`
+}
+
+type queryList []string
+
+func (q *queryList) String() string { return strings.Join(*q, "; ") }
+func (q *queryList) Set(v string) error {
+	*q = append(*q, v)
+	return nil
+}
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "asqp-serve base URL")
+	clients := flag.Int("clients", 16, "concurrent closed-loop clients")
+	duration := flag.Duration("duration", 10*time.Second, "run length")
+	timeoutMs := flag.Int("timeout-ms", 0, "per-query timeout_ms sent to the server (0 = server default)")
+	jsonOut := flag.String("json", "", "append the run's JSON record to this file (e.g. BENCH_<date>.json)")
+	label := flag.String("label", "LoadgenServe", "benchmark name recorded in the JSON output")
+	var queries queryList
+	flag.Var(&queries, "query", "query to fire (repeatable; defaults to an IMDB mix)")
+	flag.Parse()
+
+	if len(queries) == 0 {
+		queries = queryList{
+			"SELECT * FROM title WHERE rating > 7",
+			"SELECT name FROM name WHERE birth_year > 1980",
+			"SELECT * FROM title t JOIN cast_info c ON t.id = c.title_id WHERE t.rating > 8",
+		}
+	}
+
+	// Wait for readiness so training time is not billed as latency.
+	if err := waitReady(*url, 5*time.Minute); err != nil {
+		fatal(err)
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []float64 // milliseconds
+		res       = result{Name: fmt.Sprintf("%s/clients=%d", *label, *clients), Clients: *clients}
+	)
+	client := &http.Client{Timeout: 30 * time.Second}
+	deadline := time.Now().Add(*duration)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for i := 0; time.Now().Before(deadline); i++ {
+				sql := queries[(id+i)%len(queries)]
+				t0 := time.Now()
+				status, body, err := post(client, *url+"/query", sql, *timeoutMs)
+				ms := float64(time.Since(t0).Microseconds()) / 1000
+				mu.Lock()
+				res.Requests++
+				latencies = append(latencies, ms)
+				switch {
+				case err != nil:
+					res.Errors++
+				case !json.Valid(body):
+					res.Malformed++
+				case status == http.StatusOK:
+					res.OK++
+					if bytes.Contains(body, []byte(`"degraded":true`)) {
+						res.Degraded++
+					}
+				case status == http.StatusServiceUnavailable:
+					res.Shed++
+				default:
+					res.Errors++
+				}
+				mu.Unlock()
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	sort.Float64s(latencies)
+	res.Duration = elapsed.Round(time.Millisecond).String()
+	res.QPS = float64(res.Requests) / elapsed.Seconds()
+	if len(latencies) > 0 {
+		var sum float64
+		for _, l := range latencies {
+			sum += l
+		}
+		res.NsPerOp = sum / float64(len(latencies)) * 1e6
+		res.P50Ms = quantile(latencies, 0.50)
+		res.P99Ms = quantile(latencies, 0.99)
+	}
+	if res.Requests > 0 {
+		res.ShedRate = float64(res.Shed) / float64(res.Requests)
+		res.DegradRate = float64(res.Degraded) / float64(res.Requests)
+	}
+
+	fmt.Printf("%s: %d requests in %s (%.1f qps)\n", res.Name, res.Requests, res.Duration, res.QPS)
+	fmt.Printf("  latency: mean %.2fms  p50 %.2fms  p99 %.2fms\n", res.NsPerOp/1e6, res.P50Ms, res.P99Ms)
+	fmt.Printf("  ok %d (degraded %d), shed %d (%.1f%%), errors %d, malformed %d\n",
+		res.OK, res.Degraded, res.Shed, 100*res.ShedRate, res.Errors, res.Malformed)
+	if res.Malformed > 0 {
+		fatal(fmt.Errorf("%d malformed (non-JSON) responses", res.Malformed))
+	}
+
+	if *jsonOut != "" {
+		f, err := os.OpenFile(*jsonOut, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			fatal(err)
+		}
+		enc := json.NewEncoder(f)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode([]result{res}); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("appended JSON record to %s\n", *jsonOut)
+	}
+}
+
+func post(client *http.Client, url, sql string, timeoutMs int) (int, []byte, error) {
+	req := map[string]any{"sql": sql}
+	if timeoutMs > 0 {
+		req["timeout_ms"] = timeoutMs
+	}
+	payload, _ := json.Marshal(req)
+	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	return resp.StatusCode, body, err
+}
+
+func waitReady(base string, patience time.Duration) error {
+	deadline := time.Now().Add(patience)
+	for {
+		resp, err := http.Get(base + "/readyz")
+		if err == nil {
+			ready := resp.StatusCode == http.StatusOK
+			resp.Body.Close()
+			if ready {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready after %s", base, patience)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+}
+
+// quantile returns the q-th quantile of sorted values.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asqp-loadgen:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,232 @@
+// Command asqp-serve runs the hardened ASQP-RL query service: an HTTP/JSON
+// front door over a trained system, with admission control, load shedding, a
+// circuit breaker around the full-database fallback, and graceful drain on
+// SIGTERM/SIGINT.
+//
+// The server starts listening immediately — /healthz answers at once, while
+// /readyz stays 503 until the system (loaded from a -load snapshot or trained
+// from scratch) is attached. Queries then flow through:
+//
+//	POST /query   {"sql": "...", "timeout_ms": 500, "max_rows": 1000}
+//	GET  /query?q=SELECT...&timeout_ms=500
+//	GET  /stats, /healthz, /readyz
+//
+// Usage:
+//
+//	# Train on the synthetic IMDB dataset and serve:
+//	asqp-serve -dataset imdb -scale 0.1 -k 500 -addr localhost:8080
+//
+//	# Serve a previously trained snapshot with tight limits:
+//	asqp-serve -dataset imdb -load sys.bin -max-inflight 16 -queue 32 \
+//	    -query-timeout 300ms -drain-timeout 5s -debug-addr localhost:6060
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"time"
+
+	"asqprl/internal/core"
+	"asqprl/internal/datagen"
+	"asqprl/internal/obs"
+	"asqprl/internal/server"
+	"asqprl/internal/table"
+	"asqprl/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8080", "serve address")
+	dataset := flag.String("dataset", "imdb", "built-in dataset: imdb, mas or flights")
+	scale := flag.Float64("scale", 0.1, "synthetic dataset scale")
+	dataDir := flag.String("data", "", "directory of CSV tables (alternative to -dataset)")
+	workloadFile := flag.String("workload", "", "file with one SQL query per line (omit to generate)")
+	k := flag.Int("k", 1000, "memory budget: tuples in the approximation set")
+	frame := flag.Int("f", 50, "frame size F")
+	light := flag.Bool("light", false, "use the ASQP-Light configuration")
+	seed := flag.Int64("seed", 1, "random seed")
+	loadFile := flag.String("load", "", "load a trained system snapshot instead of training")
+	saveFile := flag.String("save", "", "save the trained system to this file (atomic rename)")
+	maxInFlight := flag.Int("max-inflight", 0, "queries executing concurrently (0 = 2x CPUs)")
+	queue := flag.Int("queue", 0, "admitted requests that may wait for a slot (0 = max-inflight)")
+	queryTimeout := flag.Duration("query-timeout", 2*time.Second, "default per-query deadline")
+	maxRows := flag.Int("max-rows", 0, "per-query result-row cap (0 = 100000)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "how long shutdown waits for in-flight queries")
+	breakerTrips := flag.Int("breaker-trips", 5, "consecutive full-DB guard trips that open the circuit breaker")
+	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "initial breaker open duration (doubles per failed probe)")
+	parallelism := flag.Int("parallelism", 0, "per-query execution workers (0 = one per CPU, <0 = serial)")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and /debug/pprof on this address")
+	logLevel := flag.String("log", "info", "structured log level on stderr (debug, info, warn, error, off)")
+	flag.Parse()
+
+	if *logLevel != "" && *logLevel != "off" {
+		obs.EnableLogging(os.Stderr, obs.ParseLevel(*logLevel))
+	}
+	obs.SetEnabled(true)
+
+	var debug *obs.DebugServer
+	if *debugAddr != "" {
+		var err error
+		debug, err = obs.StartDebug(*debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("debug server on http://%s (/metrics, /spans, /debug/pprof)\n", debug.Addr())
+	}
+
+	srv := server.New(nil, server.Config{
+		Addr:            *addr,
+		MaxInFlight:     *maxInFlight,
+		QueueDepth:      *queue,
+		DefaultTimeout:  *queryTimeout,
+		MaxRows:         *maxRows,
+		DrainTimeout:    *drainTimeout,
+		BreakerTrips:    *breakerTrips,
+		BreakerCooldown: *breakerCooldown,
+		Seed:            *seed,
+	})
+	bound, err := srv.Start()
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("serving on http://%s (/query, /healthz, /readyz, /stats); not ready until the system loads\n", bound)
+
+	// Drain on SIGTERM/SIGINT: stop admitting, wait for in-flight queries up
+	// to -drain-timeout, then cancel them. A second signal aborts the wait.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+
+	sys, err := buildSystem(ctx, *dataset, *dataDir, *workloadFile, *loadFile, *scale, *seed, *k, *frame, *light, *parallelism)
+	if err != nil {
+		fatal(err)
+	}
+	if *saveFile != "" {
+		if err := sys.SaveFile(*saveFile); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("saved system to %s\n", *saveFile)
+	}
+	srv.SetSystem(sys)
+	fmt.Printf("ready: approximation set of %d tuples\n", sys.Set().Size())
+
+	<-ctx.Done()
+	stop() // restore default signal handling: a second ^C kills immediately
+	fmt.Println("\nsignal received; draining...")
+	if err := srv.Shutdown(context.Background()); err != nil {
+		fmt.Fprintln(os.Stderr, "asqp-serve: drain:", err)
+	}
+	if debug != nil {
+		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
+		defer cancel()
+		_ = debug.Shutdown(shutCtx)
+	}
+	fmt.Println("drained; bye")
+}
+
+// buildSystem loads a snapshot or trains from scratch, honoring cancellation.
+func buildSystem(ctx context.Context, dataset, dataDir, workloadFile, loadFile string, scale float64, seed int64, k, frame int, light bool, parallelism int) (*core.System, error) {
+	db, err := loadDB(dataset, dataDir, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("database: %d tables, %d tuples\n", len(db.TableNames()), db.TotalRows())
+	if loadFile != "" {
+		sys, err := core.LoadFile(db, loadFile)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("loaded system from %s\n", loadFile)
+		return sys, nil
+	}
+	w, err := loadWorkload(workloadFile, db, seed)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("workload: %d queries; training...\n", len(w))
+	cfg := core.DefaultConfig()
+	if light {
+		cfg = core.LightConfig()
+	}
+	cfg.K = k
+	cfg.F = frame
+	cfg.Seed = seed
+	cfg.Parallelism = parallelism
+	start := time.Now()
+	sys, err := core.TrainContext(ctx, db, w, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Printf("trained in %s\n", time.Since(start).Round(time.Millisecond))
+	return sys, nil
+}
+
+func loadDB(dataset, dataDir string, scale float64, seed int64) (*table.Database, error) {
+	switch {
+	case dataDir != "":
+		entries, err := filepath.Glob(filepath.Join(dataDir, "*.csv"))
+		if err != nil {
+			return nil, err
+		}
+		if len(entries) == 0 {
+			return nil, fmt.Errorf("no CSV files in %s", dataDir)
+		}
+		db := table.NewDatabase()
+		for _, path := range entries {
+			f, err := os.Open(path)
+			if err != nil {
+				return nil, err
+			}
+			name := strings.TrimSuffix(filepath.Base(path), ".csv")
+			t, err := table.ReadCSV(name, bufio.NewReader(f))
+			f.Close()
+			if err != nil {
+				return nil, fmt.Errorf("%s: %w", path, err)
+			}
+			db.Add(t)
+		}
+		return db, nil
+	case dataset == "imdb" || dataset == "":
+		return datagen.IMDB(scale, seed), nil
+	case dataset == "mas":
+		return datagen.MAS(scale, seed), nil
+	case dataset == "flights":
+		return datagen.Flights(scale, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown dataset %q", dataset)
+	}
+}
+
+func loadWorkload(path string, db *table.Database, seed int64) (workload.Workload, error) {
+	if path == "" {
+		return core.GenerateWorkload(db, core.GenOptions{N: 30, Seed: seed})
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var sqls []string
+	scanner := bufio.NewScanner(f)
+	for scanner.Scan() {
+		line := strings.TrimSpace(scanner.Text())
+		if line == "" || strings.HasPrefix(line, "--") {
+			continue
+		}
+		sqls = append(sqls, line)
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, err
+	}
+	return workload.New(sqls...)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "asqp-serve:", err)
+	os.Exit(1)
+}

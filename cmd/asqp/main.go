@@ -22,7 +22,7 @@
 //	# Robustness: bound training time and per-query cost; queries that trip
 //	# a guard return a typed error or a result marked "degraded":
 //	asqp -dataset imdb -train-timeout 2m -query-timeout 500ms -max-rows 10000 \
-//	     -query "SELECT * FROM title t JOIN cast_info c ON t.id = c.movie_id"
+//	     -query "SELECT * FROM title t JOIN cast_info c ON t.id = c.title_id"
 package main
 
 import (
@@ -93,12 +93,7 @@ func main() {
 
 	var sys *core.System
 	if *loadFile != "" {
-		f, err := os.Open(*loadFile)
-		if err != nil {
-			fatal(err)
-		}
-		sys, err = core.Load(db, bufio.NewReader(f))
-		f.Close()
+		sys, err = core.LoadFile(db, *loadFile)
 		if err != nil {
 			fatal(err)
 		}
@@ -169,15 +164,8 @@ func main() {
 	}
 
 	if *saveFile != "" {
-		f, err := os.Create(*saveFile)
-		if err != nil {
-			fatal(err)
-		}
-		if err := sys.Save(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
+		// Atomic: a crash mid-save leaves any previous snapshot intact.
+		if err := sys.SaveFile(*saveFile); err != nil {
 			fatal(err)
 		}
 		fmt.Printf("saved system to %s\n", *saveFile)

@@ -138,7 +138,7 @@ func TestQueryDeadline(t *testing.T) {
 	defer cancel()
 	time.Sleep(2 * time.Millisecond) // guarantee expiry regardless of machine speed
 	_, err := sys.QueryContext(ctx,
-		"SELECT * FROM title t JOIN cast_info c ON t.id = c.movie_id", QueryOptions{})
+		"SELECT * FROM title t JOIN cast_info c ON t.id = c.title_id", QueryOptions{})
 	if !errors.Is(err, engine.ErrDeadline) {
 		t.Fatalf("want engine.ErrDeadline, got %v", err)
 	}

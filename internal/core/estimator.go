@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"asqprl/internal/embed"
 	"asqprl/internal/sqlparse"
@@ -105,7 +106,8 @@ func (e *Estimator) Threshold() float64 { return e.threshold }
 
 // DriftDetector accumulates queries that deviate from the training workload
 // and signals when fine-tuning should run (Section 4.4): after Count queries
-// whose deviation confidence exceeds Confidence.
+// whose deviation confidence exceeds Confidence. It is safe for concurrent
+// use — the serving layer observes queries from many requests at once.
 type DriftDetector struct {
 	// Confidence is the minimum deviation confidence (1 − similarity to the
 	// nearest training query) for a query to count as drifted.
@@ -113,6 +115,7 @@ type DriftDetector struct {
 	// Count is how many drifted queries trigger fine-tuning.
 	Count int
 
+	mu      sync.Mutex
 	drifted []*sqlparse.Select
 }
 
@@ -121,6 +124,8 @@ type DriftDetector struct {
 // fine-tuning should be triggered.
 func (d *DriftDetector) Observe(stmt *sqlparse.Select, similarityConfidence float64) bool {
 	deviation := 1 - similarityConfidence
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if deviation >= d.Confidence {
 		d.drifted = append(d.drifted, stmt)
 	}
@@ -129,8 +134,14 @@ func (d *DriftDetector) Observe(stmt *sqlparse.Select, similarityConfidence floa
 
 // Drifted returns the accumulated deviating queries.
 func (d *DriftDetector) Drifted() []*sqlparse.Select {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	return append([]*sqlparse.Select(nil), d.drifted...)
 }
 
 // ResetDrift clears the accumulated queries (called after fine-tuning).
-func (d *DriftDetector) ResetDrift() { d.drifted = nil }
+func (d *DriftDetector) ResetDrift() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.drifted = nil
+}

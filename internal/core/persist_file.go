@@ -1,0 +1,62 @@
+package core
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"asqprl/internal/table"
+)
+
+// SaveFile atomically writes the system snapshot to path: the frame is first
+// written to a temporary file in the destination directory, fsynced, and then
+// renamed over path. A crash or SIGKILL at any point leaves either the old
+// snapshot or the new one — never a torn file (and a torn write that somehow
+// survived would still be rejected by Load's CRC frame).
+func (s *System) SaveFile(path string) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("core: save %s: %w", path, err)
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	w := bufio.NewWriter(tmp)
+	if err = s.Save(w); err != nil {
+		return err
+	}
+	if err = w.Flush(); err != nil {
+		return fmt.Errorf("core: save %s: %w", path, err)
+	}
+	if err = tmp.Sync(); err != nil {
+		return fmt.Errorf("core: save %s: %w", path, err)
+	}
+	if err = tmp.Close(); err != nil {
+		return fmt.Errorf("core: save %s: %w", path, err)
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: save %s: %w", path, err)
+	}
+	// Persist the rename itself; without the directory fsync a crash can
+	// still lose the new directory entry (though never tear the file).
+	if d, derr := os.Open(dir); derr == nil {
+		_ = d.Sync()
+		d.Close()
+	}
+	return nil
+}
+
+// LoadFile restores a system from a snapshot file written by SaveFile (or any
+// writer of the framed Save format), attaching it to db.
+func LoadFile(db *table.Database, path string) (*System, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: load %s: %w", path, err)
+	}
+	return LoadBytes(db, data)
+}

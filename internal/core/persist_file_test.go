@@ -1,0 +1,108 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSaveFileLoadFileRoundtrip checks the on-disk snapshot restores to a
+// system with the same approximation set and estimator verdicts.
+func TestSaveFileLoadFileRoundtrip(t *testing.T) {
+	sys := trainedSystem(t)
+	path := filepath.Join(t.TempDir(), "snap.asqp")
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	loaded, err := LoadFile(testIMDB(), path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if got, want := loaded.Set().Size(), sys.Set().Size(); got != want {
+		t.Errorf("restored set size = %d, want %d", got, want)
+	}
+	stmt := mustParseCore(t, "SELECT * FROM title WHERE rating > 7")
+	origPred, _ := sys.Estimator().Estimate(stmt)
+	loadPred, _ := loaded.Estimator().Estimate(stmt)
+	if origPred != loadPred {
+		t.Errorf("restored estimator predicts %v, original %v", loadPred, origPred)
+	}
+}
+
+// TestLoadFileRejectsTornSnapshot truncates a valid snapshot at several
+// offsets and checks the CRC framing rejects every torn prefix rather than
+// loading a silently corrupt system.
+func TestLoadFileRejectsTornSnapshot(t *testing.T) {
+	sys := trainedSystem(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.asqp")
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []float64{0, 0.25, 0.5, 0.99} {
+		n := int(float64(len(full)) * frac)
+		torn := filepath.Join(dir, "torn.asqp")
+		if err := os.WriteFile(torn, full[:n], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(testIMDB(), torn); err == nil {
+			t.Errorf("LoadFile accepted a snapshot truncated to %d/%d bytes", n, len(full))
+		}
+	}
+	// Bit flip in the payload must also be caught.
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)/2] ^= 0x40
+	bad := filepath.Join(dir, "flipped.asqp")
+	if err := os.WriteFile(bad, flipped, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(testIMDB(), bad); err == nil {
+		t.Error("LoadFile accepted a snapshot with a flipped payload bit")
+	}
+}
+
+// TestSaveFileCrashLeavesPreviousSnapshot simulates a crash mid-save — a
+// stray temp file next to a good snapshot — and checks the previous snapshot
+// still loads and a subsequent SaveFile replaces it atomically.
+func TestSaveFileCrashLeavesPreviousSnapshot(t *testing.T) {
+	sys := trainedSystem(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.asqp")
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+
+	// A crashed writer leaves a half-written temp file; it must never shadow
+	// or corrupt the committed snapshot.
+	stray := path + ".tmp-crashed"
+	if err := os.WriteFile(stray, []byte("ASQPgarbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(testIMDB(), path); err != nil {
+		t.Fatalf("previous snapshot unreadable after simulated crash: %v", err)
+	}
+
+	// The next save commits over the old snapshot via rename, ignoring the
+	// stray temp file.
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile over existing snapshot: %v", err)
+	}
+	if _, err := LoadFile(testIMDB(), path); err != nil {
+		t.Fatalf("snapshot unreadable after re-save: %v", err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.Name() != filepath.Base(path) && e.Name() != filepath.Base(stray) &&
+			strings.HasPrefix(e.Name(), filepath.Base(path)+".tmp-") {
+			t.Errorf("SaveFile left its own temp file behind: %s", e.Name())
+		}
+	}
+}

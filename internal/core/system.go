@@ -261,8 +261,17 @@ type QueryResult struct {
 	// degraded result is never silently returned as exact.
 	Degraded bool
 	// DegradedReason names the guard or fault behind the degradation:
-	// "deadline", "rows", "canceled", or "fault".
+	// "deadline", "rows", "canceled", "fault", or "breaker" (the caller
+	// routed around the full database via QueryOptions.SkipFull).
 	DegradedReason string
+	// FullAttempted is true when the full-database rung actually executed
+	// (successfully or not). Serving-layer circuit breakers use it to
+	// attribute failures to the expensive path rather than the set.
+	FullAttempted bool
+	// FullFailure names the guard behind the last full-database failure
+	// ("deadline", "rows", "canceled", or "fault"); empty when the full
+	// database answered or was never attempted.
+	FullFailure string
 }
 
 // QueryOptions bounds one query's execution and tunes the fallback ladder of
@@ -282,6 +291,12 @@ type QueryOptions struct {
 	// Backoff is the initial delay between fallback retries, doubling each
 	// attempt (0 = default 5ms).
 	Backoff time.Duration
+	// SkipFull routes around the full-database rung entirely: queries the
+	// estimator would send to the full database are answered from the
+	// approximation set, tagged Degraded with reason "breaker". Serving
+	// layers set it while their circuit breaker is open, so a sick full
+	// database is never hit with more doomed work.
+	SkipFull bool
 }
 
 func (o QueryOptions) normalize() QueryOptions {
@@ -360,6 +375,7 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 	useApprox := pred >= s.cfg.EstimatorThreshold
 
 	// Rung 1: approximation set, when the estimator trusts it.
+	var approxErr error
 	if useApprox {
 		res, err := s.runGuarded(ctx, s.setDB, stmt, eopts)
 		if err == nil {
@@ -370,50 +386,66 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 		}
 		if terminal(err) {
 			s.recordQuery(nil, start, err)
-			return nil, err
+			return out, err
 		}
+		approxErr = err
 		s.noteGuardTrip(err)
 	}
 
 	// Rung 2: full database, with retry/backoff for transient failures.
+	// With SkipFull set (circuit breaker open) the rung is skipped wholesale
+	// and the ladder drops straight to the degraded substitute.
 	var fullErr error
 	var partial *engine.Result
-	backoff := opts.Backoff
-	for attempt := 0; attempt <= opts.Retries; attempt++ {
-		if attempt > 0 {
-			select {
-			case <-ctx.Done():
-				err := fmt.Errorf("%w: %v", engine.ErrCanceled, ctx.Err())
-				if errors.Is(ctx.Err(), context.DeadlineExceeded) {
-					err = fmt.Errorf("%w: %v", engine.ErrDeadline, ctx.Err())
+	if opts.SkipFull {
+		if obs.Enabled() {
+			obs.Default().Counter("core/query/full_skipped").Inc()
+		}
+	} else {
+		backoff := opts.Backoff
+		for attempt := 0; attempt <= opts.Retries; attempt++ {
+			if attempt > 0 {
+				select {
+				case <-ctx.Done():
+					err := fmt.Errorf("%w: %v", engine.ErrCanceled, ctx.Err())
+					if errors.Is(ctx.Err(), context.DeadlineExceeded) {
+						err = fmt.Errorf("%w: %v", engine.ErrDeadline, ctx.Err())
+					}
+					s.recordQuery(nil, start, err)
+					return out, err
+				case <-time.After(backoff):
 				}
+				backoff *= 2
+				if obs.Enabled() {
+					obs.Default().Counter("core/query/retries").Inc()
+				}
+			}
+			out.FullAttempted = true
+			res, err := s.runGuarded(ctx, s.db, stmt, eopts)
+			if err == nil {
+				out.FullFailure = ""
+				out.FromApproximation = false
+				out.Table = res.Table
+				s.recordQuery(out, start, nil)
+				return out, nil
+			}
+			fullErr = err
+			if kind := engine.GuardKind(err); kind != "" {
+				out.FullFailure = kind
+			} else {
+				out.FullFailure = "fault"
+			}
+			if terminal(err) {
 				s.recordQuery(nil, start, err)
-				return nil, err
-			case <-time.After(backoff):
+				return out, err
 			}
-			backoff *= 2
-			if obs.Enabled() {
-				obs.Default().Counter("core/query/retries").Inc()
+			s.noteGuardTrip(err)
+			if res != nil && res.Table != nil {
+				partial = res // row-budget trip carried partial rows
 			}
-		}
-		res, err := s.runGuarded(ctx, s.db, stmt, eopts)
-		if err == nil {
-			out.FromApproximation = false
-			out.Table = res.Table
-			s.recordQuery(out, start, nil)
-			return out, nil
-		}
-		fullErr = err
-		if terminal(err) {
-			s.recordQuery(nil, start, err)
-			return nil, err
-		}
-		s.noteGuardTrip(err)
-		if res != nil && res.Table != nil {
-			partial = res // row-budget trip carried partial rows
-		}
-		if errors.Is(err, engine.ErrRowBudget) {
-			break // a budget trip repeats deterministically; don't retry
+			if errors.Is(err, engine.ErrRowBudget) {
+				break // a budget trip repeats deterministically; don't retry
+			}
 		}
 	}
 
@@ -421,6 +453,9 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 	reason := engine.GuardKind(fullErr)
 	if reason == "" {
 		reason = "fault"
+	}
+	if opts.SkipFull {
+		reason = "breaker"
 	}
 	if partial != nil {
 		out.Degraded = true
@@ -430,7 +465,10 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 		s.recordQuery(out, start, nil)
 		return out, nil
 	}
-	if !useApprox {
+	// Serve the approximation set's answer: first try when the estimator
+	// routed past it, or a second chance after a transient rung-1 fault when
+	// the full database is off-limits anyway.
+	if !useApprox || opts.SkipFull {
 		if res, err := s.runGuarded(ctx, s.setDB, stmt, eopts); err == nil {
 			out.Degraded = true
 			out.DegradedReason = reason
@@ -438,10 +476,18 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 			out.Table = res.Table
 			s.recordQuery(out, start, nil)
 			return out, nil
+		} else if approxErr == nil {
+			approxErr = err
 		}
 	}
+	if fullErr == nil {
+		fullErr = approxErr
+	}
+	if fullErr == nil {
+		fullErr = fmt.Errorf("core: query failed on every rung")
+	}
 	s.recordQuery(nil, start, fullErr)
-	return nil, fullErr
+	return out, fullErr
 }
 
 // runGuarded executes stmt on db under ctx, converting panics into errors so

@@ -25,7 +25,7 @@ func mustParse(t *testing.T, sql string) *sqlparse.Select {
 // panic, not a silent result.
 func TestDeadlineExceeded(t *testing.T) {
 	db := datagen.IMDB(0.05, 1)
-	stmt := mustParse(t, "SELECT * FROM title t JOIN cast_info c ON t.id = c.movie_id WHERE t.rating > 1")
+	stmt := mustParse(t, "SELECT * FROM title t JOIN cast_info c ON t.id = c.title_id WHERE t.rating > 1")
 
 	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
 	defer cancel()
@@ -47,7 +47,7 @@ func TestDeadlineExceeded(t *testing.T) {
 // the scan loop via the cooperative per-row checks.
 func TestCancellationMidScan(t *testing.T) {
 	db := datagen.IMDB(0.2, 1)
-	stmt := mustParse(t, "SELECT * FROM title t JOIN cast_info c ON t.id = c.movie_id")
+	stmt := mustParse(t, "SELECT * FROM title t JOIN cast_info c ON t.id = c.title_id")
 
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel() // pre-canceled: the first poll must observe it

@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 
 	"asqprl/internal/workload"
@@ -113,6 +114,61 @@ func TestReferenceCacheBypassesOtherDatabases(t *testing.T) {
 	}
 	if cache.Misses() != misses || cache.Len() != 4 {
 		t.Errorf("cache touched by foreign database: misses=%d len=%d", cache.Misses(), cache.Len())
+	}
+}
+
+// TestReferenceCacheConcurrent hammers one cache from many goroutines with a
+// mix of hits, misses, and Invalidate calls. Every returned count must be
+// correct regardless of interleaving (the serving layer makes concurrent
+// scoring the default path); run under -race this also proves memory safety.
+func TestReferenceCacheConcurrent(t *testing.T) {
+	db := numsDB(200)
+	w := sweepWorkload(16)
+	cache := NewReferenceCache(db)
+
+	// Ground truth, computed serially without the cache.
+	want := make([]int, len(w))
+	for i, q := range w {
+		n, err := (*ReferenceCache)(nil).FullCount(db, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = n
+	}
+
+	const goroutines = 16
+	const iters = 40
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				qi := (g*7 + i) % len(w)
+				n, err := cache.FullCount(db, w[qi])
+				if err != nil {
+					errs <- err
+					return
+				}
+				if n != want[qi] {
+					errs <- fmt.Errorf("goroutine %d: count[%d] = %d, want %d", g, qi, n, want[qi])
+					return
+				}
+				// Every goroutine occasionally invalidates mid-flight.
+				if i%17 == g%17 {
+					cache.Invalidate()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if cache.Hits()+cache.Misses() == 0 {
+		t.Error("cache never consulted")
 	}
 }
 

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -49,20 +50,84 @@ func Handler() http.Handler {
 	return mux
 }
 
-// Serve starts the debug server on addr in a background goroutine, enabling
-// observability as a side effect. It returns the bound address (useful with
-// ":0") or an error if the listener cannot be opened.
-func Serve(addr string) (string, error) {
+// DebugServer is a running debug HTTP server with an owned lifecycle: the
+// bound address is known, serve errors are surfaced instead of dropped, and
+// Shutdown/Close release the listener and its goroutine so tests and draining
+// binaries do not leak.
+type DebugServer struct {
+	addr string
+	srv  *http.Server
+	done chan struct{}
+	err  error
+}
+
+// StartDebug binds addr, enables observability, and serves the debug handler
+// in a background goroutine. It returns an error if the listener cannot be
+// opened (a bad -debug-addr fails fast instead of silently serving nothing).
+func StartDebug(addr string) (*DebugServer, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", fmt.Errorf("obs: debug server: %w", err)
+		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
 	SetEnabled(true)
-	srv := &http.Server{Handler: Handler()}
+	d := &DebugServer{
+		addr: ln.Addr().String(),
+		srv:  &http.Server{Handler: Handler()},
+		done: make(chan struct{}),
+	}
 	go func() {
-		_ = srv.Serve(ln)
+		defer close(d.done)
+		if err := d.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			d.err = err
+			Logger().Error("debug server failed", "addr", d.addr, "err", err)
+		}
 	}()
-	return ln.Addr().String(), nil
+	return d, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (d *DebugServer) Addr() string { return d.addr }
+
+// Shutdown gracefully stops the server, waiting for in-flight requests up to
+// ctx's deadline, and returns any serve error observed over its lifetime.
+func (d *DebugServer) Shutdown(ctx context.Context) error {
+	if d == nil {
+		return nil
+	}
+	err := d.srv.Shutdown(ctx)
+	select {
+	case <-d.done:
+	case <-ctx.Done():
+	}
+	if err == nil {
+		err = d.err
+	}
+	return err
+}
+
+// Close stops the server immediately, dropping in-flight requests.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	err := d.srv.Close()
+	<-d.done
+	if err == nil {
+		err = d.err
+	}
+	return err
+}
+
+// Serve starts the debug server on addr in a background goroutine, enabling
+// observability as a side effect. It returns the bound address (useful with
+// ":0") or an error if the listener cannot be opened. The server runs for the
+// life of the process; callers that need clean shutdown use StartDebug.
+func Serve(addr string) (string, error) {
+	d, err := StartDebug(addr)
+	if err != nil {
+		return "", err
+	}
+	return d.Addr(), nil
 }
 
 // writeJSON marshals v with indentation for human-friendly curling.

@@ -1,0 +1,90 @@
+package obs
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestStartDebugLifecycle checks the debug server binds, serves, and shuts
+// down without leaking its accept goroutine or the listener port.
+func TestStartDebugLifecycle(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	d, err := StartDebug("localhost:0")
+	if err != nil {
+		t.Fatalf("StartDebug: %v", err)
+	}
+	if !Enabled() {
+		t.Error("StartDebug did not enable observability")
+	}
+
+	resp, err := http.Get("http://" + d.Addr() + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(strings.TrimSpace(string(body)), "{") {
+		t.Errorf("GET /metrics = %d %q, want 200 with JSON object", resp.StatusCode, body)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := d.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+
+	// The port must be released…
+	if _, err := http.Get("http://" + d.Addr() + "/metrics"); err == nil {
+		t.Error("debug server still serving after Shutdown")
+	}
+	// …and the serve goroutine reaped.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > before {
+		t.Errorf("goroutines after Shutdown = %d, baseline %d — serve goroutine leaked", n, before)
+	}
+}
+
+// TestStartDebugBindErrorSurfaces checks a taken port fails fast at StartDebug
+// rather than silently serving nothing.
+func TestStartDebugBindErrorSurfaces(t *testing.T) {
+	d, err := StartDebug("localhost:0")
+	if err != nil {
+		t.Fatalf("StartDebug: %v", err)
+	}
+	defer d.Close()
+
+	if _, err := StartDebug(d.Addr()); err == nil {
+		t.Fatal("StartDebug on a taken port returned no error")
+	}
+}
+
+// TestStartDebugClose checks the abrupt-stop path also releases everything.
+func TestStartDebugClose(t *testing.T) {
+	d, err := StartDebug("localhost:0")
+	if err != nil {
+		t.Fatalf("StartDebug: %v", err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := http.Get("http://" + d.Addr() + "/"); err == nil {
+		t.Error("debug server still serving after Close")
+	}
+	// Nil receivers are no-ops so callers can shut down unconditionally.
+	var nilServer *DebugServer
+	if err := nilServer.Shutdown(context.Background()); err != nil {
+		t.Errorf("nil Shutdown: %v", err)
+	}
+	if err := nilServer.Close(); err != nil {
+		t.Errorf("nil Close: %v", err)
+	}
+}

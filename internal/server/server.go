@@ -1,0 +1,526 @@
+// Package server is the hardened query-serving layer of ASQP-RL: an
+// HTTP/JSON front door over core.System designed so that overload, faults,
+// and restarts never produce hangs, panics, or silent wrong answers.
+//
+// The pipeline every request passes through:
+//
+//	admission control -> circuit breaker routing -> core degradation ladder
+//
+// Admission control bounds concurrency (MaxInFlight execution slots) and
+// queueing (QueueDepth waiters); anything beyond that is shed immediately
+// with 503 + Retry-After instead of piling up. The circuit breaker watches
+// the full-database fallback rung: after Breaker.Trips consecutive guard
+// trips it opens and queries are answered from the approximation set tagged
+// Degraded, with half-open probes on a jittered, doubling cooldown. Graceful
+// drain (Shutdown) stops admitting, waits for in-flight queries up to the
+// drain deadline, then cancels them via context — the listener goroutine and
+// every request goroutine are accounted for.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"runtime"
+	"strconv"
+	"sync/atomic"
+	"time"
+
+	"asqprl/internal/core"
+	"asqprl/internal/engine"
+	"asqprl/internal/obs"
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+)
+
+// Config tunes the serving layer. The zero value is usable: every field has
+// a production-safe default filled in by normalize.
+type Config struct {
+	// Addr is the listen address (default "localhost:8080"; use ":0" in
+	// tests to pick a free port).
+	Addr string
+	// MaxInFlight is the number of queries executing concurrently
+	// (default 2×CPUs).
+	MaxInFlight int
+	// QueueDepth is how many admitted requests may wait for an execution
+	// slot before new ones are shed (default MaxInFlight).
+	QueueDepth int
+	// DefaultTimeout is the per-query deadline when the client does not send
+	// one (default 2s). Clients cannot disable it — only shorten or extend
+	// it up to MaxTimeout.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested deadlines (default 30s).
+	MaxTimeout time.Duration
+	// MaxRows caps per-query result rows (default 100000; 0 keeps the
+	// default — the serving layer always bounds result size).
+	MaxRows int
+	// Retries and Backoff pass through to core.QueryOptions.
+	Retries int
+	Backoff time.Duration
+	// BreakerTrips is the consecutive full-database guard-trip count that
+	// opens the circuit breaker (default 5).
+	BreakerTrips int
+	// BreakerCooldown is the initial open duration before a half-open probe
+	// (default 500ms); it doubles on each failed probe up to
+	// BreakerMaxCooldown (default 16×).
+	BreakerCooldown    time.Duration
+	BreakerMaxCooldown time.Duration
+	// DrainTimeout bounds how long Shutdown waits for in-flight queries
+	// before canceling them (default 10s).
+	DrainTimeout time.Duration
+	// Seed drives the breaker's cooldown jitter (default 1).
+	Seed int64
+}
+
+func (c Config) normalize() Config {
+	if c.Addr == "" {
+		c.Addr = "localhost:8080"
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.NumCPU()
+	}
+	if c.QueueDepth < 0 {
+		c.QueueDepth = 0
+	} else if c.QueueDepth == 0 {
+		c.QueueDepth = c.MaxInFlight
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 2 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 30 * time.Second
+	}
+	if c.MaxRows <= 0 {
+		c.MaxRows = 100000
+	}
+	if c.BreakerTrips <= 0 {
+		c.BreakerTrips = 5
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 500 * time.Millisecond
+	}
+	if c.BreakerMaxCooldown < c.BreakerCooldown {
+		c.BreakerMaxCooldown = 16 * c.BreakerCooldown
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Server serves approximate query answers over HTTP with overload protection
+// and a graceful lifecycle. Create with New, attach a system (at construction
+// or later via SetSystem — readiness is gated on it), Start, and eventually
+// Shutdown.
+type Server struct {
+	cfg Config
+	sys atomic.Pointer[core.System]
+	adm *admission
+	brk *breaker
+
+	httpSrv    *http.Server
+	ln         net.Listener
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+	draining   atomic.Bool
+	started    atomic.Bool
+	serveErr   error
+	done       chan struct{}
+}
+
+// New builds a server around sys (which may be nil: the server then reports
+// not-ready until SetSystem is called, e.g. while a snapshot loads).
+func New(sys *core.System, cfg Config) *Server {
+	cfg = cfg.normalize()
+	s := &Server{
+		cfg:  cfg,
+		adm:  newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
+		brk:  newBreaker(cfg.BreakerTrips, cfg.BreakerCooldown, cfg.BreakerMaxCooldown, cfg.Seed),
+		done: make(chan struct{}),
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	if sys != nil {
+		s.sys.Store(sys)
+	}
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	return s
+}
+
+// SetSystem attaches (or replaces) the system and flips the server ready.
+func (s *Server) SetSystem(sys *core.System) { s.sys.Store(sys) }
+
+// Ready reports whether the server would pass a readiness probe.
+func (s *Server) Ready() bool { return s.sys.Load() != nil && !s.draining.Load() }
+
+// Handler returns the HTTP handler (also used directly by tests).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", s.handleQuery)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/stats", s.handleStats)
+	return mux
+}
+
+// Start binds the listen address and serves in a background goroutine. It
+// returns the bound address (useful with ":0") or the bind error.
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen %s: %w", s.cfg.Addr, err)
+	}
+	s.ln = ln
+	s.started.Store(true)
+	go func() {
+		defer close(s.done)
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			s.serveErr = err
+			obs.Logger().Error("serve failed", "addr", ln.Addr().String(), "err", err)
+		}
+	}()
+	obs.Logger().Info("serving", "addr", ln.Addr().String(),
+		"max_inflight", s.cfg.MaxInFlight, "queue", s.cfg.QueueDepth,
+		"query_timeout", s.cfg.DefaultTimeout, "drain_timeout", s.cfg.DrainTimeout)
+	return ln.Addr().String(), nil
+}
+
+// Shutdown drains the server gracefully: it stops admitting (readiness goes
+// 503, new queries are shed), waits for in-flight queries up to the drain
+// deadline, then cancels any stragglers via context and closes the listener.
+// It returns the first error observed (a drain-deadline overrun surfaces as
+// context.DeadlineExceeded). Shutdown is idempotent.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		<-s.done
+		return nil
+	}
+	start := time.Now()
+	if obs.Enabled() {
+		obs.Default().Counter("server/drains").Inc()
+	}
+	obs.Logger().Info("drain started", "inflight", s.adm.inFlight())
+	if !s.started.Load() {
+		s.baseCancel()
+		close(s.done)
+		return nil
+	}
+	drainCtx, cancel := context.WithTimeout(ctx, s.cfg.DrainTimeout)
+	defer cancel()
+	s.httpSrv.SetKeepAlivesEnabled(false)
+	err := s.httpSrv.Shutdown(drainCtx)
+	if err != nil {
+		// Drain deadline hit: cancel in-flight queries and close hard. Each
+		// canceled query still writes a well-formed JSON error response.
+		if obs.Enabled() {
+			obs.Default().Counter("server/drain_timeouts").Inc()
+		}
+		s.baseCancel()
+		grace, cancel2 := context.WithTimeout(context.Background(), time.Second)
+		defer cancel2()
+		if err2 := s.httpSrv.Shutdown(grace); err2 != nil {
+			_ = s.httpSrv.Close()
+		}
+	}
+	s.baseCancel()
+	<-s.done
+	if obs.Enabled() {
+		obs.Default().Histogram("server/drain_seconds").ObserveDuration(time.Since(start))
+	}
+	obs.Logger().Info("drain finished", "took", time.Since(start), "err", err)
+	if err == nil {
+		err = s.serveErr
+	}
+	return err
+}
+
+// QueryRequest is the JSON body of POST /query (GET uses ?q=<sql>).
+type QueryRequest struct {
+	SQL string `json:"sql"`
+	// TimeoutMs overrides the server's default per-query deadline, capped at
+	// the server's maximum (0 = server default).
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// MaxRows lowers the server's per-query row cap (0 = server default).
+	MaxRows int `json:"max_rows,omitempty"`
+}
+
+// QueryResponse is the JSON answer for /query. Exactly one of Rows/Error is
+// populated; Degraded results are explicitly tagged, never passed off as
+// exact.
+type QueryResponse struct {
+	Columns        []string `json:"columns,omitempty"`
+	Rows           [][]any  `json:"rows,omitempty"`
+	RowCount       int      `json:"row_count"`
+	Source         string   `json:"source,omitempty"` // "approximation" | "full"
+	Degraded       bool     `json:"degraded,omitempty"`
+	DegradedReason string   `json:"degraded_reason,omitempty"`
+	PredictedScore float64  `json:"predicted_score,omitempty"`
+	Confidence     float64  `json:"confidence,omitempty"`
+	ElapsedMs      float64  `json:"elapsed_ms"`
+	Error          string   `json:"error,omitempty"`
+}
+
+// handleQuery runs one query through admission control, breaker routing, and
+// the core degradation ladder. Every exit path writes well-formed JSON.
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	if obs.Enabled() {
+		obs.Default().Counter("server/requests").Inc()
+	}
+	if s.draining.Load() {
+		s.writeErr(w, http.StatusServiceUnavailable, start, "draining", true)
+		return
+	}
+	sys := s.sys.Load()
+	if sys == nil {
+		s.writeErr(w, http.StatusServiceUnavailable, start, "not ready: no system loaded", true)
+		return
+	}
+	req, err := parseQueryRequest(r)
+	if err != nil {
+		s.writeErr(w, http.StatusBadRequest, start, err.Error(), false)
+		return
+	}
+
+	// Per-request deadline: client wish, clamped into (0, MaxTimeout], or the
+	// server default. The admission wait runs under the same deadline so a
+	// queued request cannot outlive its client's patience.
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMs > 0 {
+		timeout = time.Duration(req.TimeoutMs) * time.Millisecond
+		if timeout > s.cfg.MaxTimeout {
+			timeout = s.cfg.MaxTimeout
+		}
+	}
+	maxRows := s.cfg.MaxRows
+	if req.MaxRows > 0 && req.MaxRows < maxRows {
+		maxRows = req.MaxRows
+	}
+
+	// Tie the query to both the connection (client gone = cancel) and the
+	// server's base context (drain deadline = cancel).
+	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	defer cancel()
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	defer stop()
+
+	if err := s.adm.acquire(ctx); err != nil {
+		if errors.Is(err, ErrShed) {
+			s.writeErr(w, http.StatusServiceUnavailable, start, "overloaded: in-flight and queue limits reached", true)
+			return
+		}
+		s.writeErr(w, statusForError(err), start, "canceled while queued: "+err.Error(), false)
+		return
+	}
+	defer s.adm.release()
+
+	stmt, perr := sqlparse.Parse(req.SQL)
+	if perr != nil {
+		s.writeErr(w, http.StatusBadRequest, start, "parse error: "+perr.Error(), false)
+		return
+	}
+
+	skipFull, probe := s.brk.acquire()
+	opts := core.QueryOptions{
+		Timeout:  0, // ctx already carries the deadline
+		MaxRows:  maxRows,
+		Retries:  s.cfg.Retries,
+		Backoff:  s.cfg.Backoff,
+		SkipFull: skipFull,
+	}
+	res, qerr := sys.QueryStmtContext(ctx, stmt, opts)
+	s.brk.record(probe, res != nil && res.FullAttempted, fullRungFailed(res))
+
+	if qerr != nil {
+		s.writeErr(w, statusForError(qerr), start, qerr.Error(), false)
+		return
+	}
+	resp := &QueryResponse{
+		Columns:        res.Table.Schema.Names(),
+		Rows:           jsonRows(res.Table),
+		RowCount:       res.Table.NumRows(),
+		Source:         "full",
+		Degraded:       res.Degraded,
+		DegradedReason: res.DegradedReason,
+		PredictedScore: res.PredictedScore,
+		Confidence:     res.Confidence,
+	}
+	if res.FromApproximation {
+		resp.Source = "approximation"
+	}
+	if obs.Enabled() {
+		reg := obs.Default()
+		if res.Degraded {
+			reg.Counter("server/degraded").Inc()
+		}
+		reg.Histogram("server/request_seconds").ObserveDuration(time.Since(start))
+	}
+	s.writeJSON(w, http.StatusOK, start, resp)
+}
+
+// fullRungFailed reports whether the query's full-database rung tripped a
+// guard or fault that should count against the circuit breaker. Client
+// cancellation does not count — it says nothing about backend health.
+func fullRungFailed(res *core.QueryResult) bool {
+	if res == nil || !res.FullAttempted {
+		return false
+	}
+	switch res.FullFailure {
+	case "deadline", "rows", "fault":
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, time.Now(), map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.draining.Load():
+		s.writeJSON(w, http.StatusServiceUnavailable, time.Now(), map[string]string{"status": "draining"})
+	case s.sys.Load() == nil:
+		s.writeJSON(w, http.StatusServiceUnavailable, time.Now(), map[string]string{"status": "loading"})
+	default:
+		s.writeJSON(w, http.StatusOK, time.Now(), map[string]string{"status": "ready"})
+	}
+}
+
+// Stats is the JSON body of GET /stats: a point-in-time view of the
+// admission controller, breaker, and lifecycle.
+type Stats struct {
+	Ready        bool   `json:"ready"`
+	Draining     bool   `json:"draining"`
+	InFlight     int    `json:"in_flight"`
+	Queued       int64  `json:"queued"`
+	MaxInFlight  int    `json:"max_in_flight"`
+	QueueDepth   int    `json:"queue_depth"`
+	BreakerState string `json:"breaker_state"`
+	SetSize      int    `json:"set_size,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := Stats{
+		Ready:        s.Ready(),
+		Draining:     s.draining.Load(),
+		InFlight:     s.adm.inFlight(),
+		Queued:       s.adm.queued.Load(),
+		MaxInFlight:  s.cfg.MaxInFlight,
+		QueueDepth:   s.cfg.QueueDepth,
+		BreakerState: s.brk.currentState().String(),
+	}
+	if sys := s.sys.Load(); sys != nil && sys.Set() != nil {
+		st.SetSize = sys.Set().Size()
+	}
+	s.writeJSON(w, http.StatusOK, time.Now(), st)
+}
+
+// parseQueryRequest accepts POST {json} or GET ?q=<sql>&timeout_ms=&max_rows=.
+func parseQueryRequest(r *http.Request) (QueryRequest, error) {
+	var req QueryRequest
+	switch r.Method {
+	case http.MethodPost:
+		dec := json.NewDecoder(http.MaxBytesReader(nil, r.Body, 1<<20))
+		if err := dec.Decode(&req); err != nil {
+			return req, fmt.Errorf("bad request body: %v", err)
+		}
+	case http.MethodGet:
+		q := r.URL.Query()
+		req.SQL = q.Get("q")
+		if v := q.Get("timeout_ms"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return req, fmt.Errorf("bad timeout_ms %q", v)
+			}
+			req.TimeoutMs = n
+		}
+		if v := q.Get("max_rows"); v != "" {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return req, fmt.Errorf("bad max_rows %q", v)
+			}
+			req.MaxRows = n
+		}
+	default:
+		return req, fmt.Errorf("method %s not allowed; use GET or POST", r.Method)
+	}
+	if req.SQL == "" {
+		return req, errors.New("missing query: POST {\"sql\": ...} or GET ?q=...")
+	}
+	return req, nil
+}
+
+// statusForError maps query errors to HTTP statuses: deadline → 504, client
+// cancellation → 499 (nginx convention), anything else → 500.
+func statusForError(err error) int {
+	switch {
+	case errors.Is(err, engine.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, engine.ErrCanceled), errors.Is(err, context.Canceled):
+		return 499
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func (s *Server) writeErr(w http.ResponseWriter, status int, start time.Time, msg string, shed bool) {
+	if status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
+	if obs.Enabled() {
+		reg := obs.Default()
+		if shed {
+			reg.Counter("server/unavailable").Inc()
+		} else {
+			reg.Counter("server/errors").Inc()
+		}
+	}
+	s.writeJSON(w, status, start, &QueryResponse{Error: msg})
+}
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, start time.Time, v any) {
+	if resp, ok := v.(*QueryResponse); ok {
+		resp.ElapsedMs = float64(time.Since(start).Microseconds()) / 1000
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(v); err != nil {
+		obs.Logger().Error("response encode failed", "err", err)
+	}
+}
+
+// jsonRows converts result rows to JSON-native values (null, number, string,
+// bool) so clients do not need the repo's Value encoding.
+func jsonRows(t *table.Table) [][]any {
+	rows := make([][]any, len(t.Rows))
+	for i, r := range t.Rows {
+		out := make([]any, len(r))
+		for j, v := range r {
+			switch v.Kind {
+			case table.KindInt:
+				out[j] = v.Int
+			case table.KindFloat:
+				out[j] = v.Float
+			case table.KindString:
+				out[j] = v.Str
+			case table.KindBool:
+				out[j] = v.Bool
+			default:
+				out[j] = nil
+			}
+		}
+		rows[i] = out
+	}
+	return rows
+}

@@ -1,0 +1,407 @@
+package server
+
+import (
+	"context"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asqprl/internal/faults"
+	"asqprl/internal/obs"
+)
+
+func TestQueryEndpointBasic(t *testing.T) {
+	sys := trainedSystem(t)
+	_, base := startServer(t, sys, Config{})
+
+	t.Run("post", func(t *testing.T) {
+		status, resp := postQuery(t, base, approxRouteSQL, 0, 0)
+		if status != http.StatusOK {
+			t.Fatalf("status = %d (%s), want 200", status, resp.Error)
+		}
+		if resp.RowCount != len(resp.Rows) || len(resp.Columns) == 0 {
+			t.Errorf("inconsistent result: row_count=%d rows=%d columns=%d",
+				resp.RowCount, len(resp.Rows), len(resp.Columns))
+		}
+		if resp.Source != "approximation" && resp.Source != "full" {
+			t.Errorf("source = %q", resp.Source)
+		}
+	})
+	t.Run("get", func(t *testing.T) {
+		var resp QueryResponse
+		status := getJSON(t, base+"/query?q=SELECT+*+FROM+title+WHERE+rating+%3E+7", &resp)
+		if status != http.StatusOK {
+			t.Fatalf("status = %d (%s), want 200", status, resp.Error)
+		}
+	})
+	t.Run("parse error is 400", func(t *testing.T) {
+		status, resp := postQuery(t, base, "SELEKT broken", 0, 0)
+		if status != http.StatusBadRequest || resp.Error == "" {
+			t.Fatalf("status = %d error=%q, want 400 with error", status, resp.Error)
+		}
+	})
+	t.Run("missing sql is 400", func(t *testing.T) {
+		status, resp := postQuery(t, base, "", 0, 0)
+		if status != http.StatusBadRequest || resp.Error == "" {
+			t.Fatalf("status = %d error=%q, want 400 with error", status, resp.Error)
+		}
+	})
+	t.Run("max_rows degrades explicitly", func(t *testing.T) {
+		status, resp := postQuery(t, base, fullRouteSQL, 0, 3)
+		if status != http.StatusOK {
+			t.Fatalf("status = %d (%s), want 200", status, resp.Error)
+		}
+		if !resp.Degraded || resp.RowCount > 3 {
+			t.Errorf("degraded=%v rows=%d, want degraded with <=3 rows", resp.Degraded, resp.RowCount)
+		}
+	})
+	t.Run("health and stats", func(t *testing.T) {
+		var h map[string]string
+		if status := getJSON(t, base+"/healthz", &h); status != http.StatusOK {
+			t.Errorf("/healthz = %d", status)
+		}
+		if status := getJSON(t, base+"/readyz", &h); status != http.StatusOK {
+			t.Errorf("/readyz = %d, want 200 on a loaded system", status)
+		}
+		var st Stats
+		if status := getJSON(t, base+"/stats", &st); status != http.StatusOK || !st.Ready {
+			t.Errorf("/stats = %d ready=%v", status, st.Ready)
+		}
+		if st.BreakerState != "closed" {
+			t.Errorf("breaker state = %q, want closed", st.BreakerState)
+		}
+	})
+}
+
+// TestReadinessGatedOnSystem: a server without a system answers health checks
+// but refuses queries with 503 until SetSystem; draining flips it back.
+func TestReadinessGatedOnSystem(t *testing.T) {
+	srv, base := startServer(t, nil, Config{})
+
+	var h map[string]string
+	if status := getJSON(t, base+"/readyz", &h); status != http.StatusServiceUnavailable {
+		t.Fatalf("/readyz before SetSystem = %d, want 503", status)
+	}
+	status, resp := postQuery(t, base, approxRouteSQL, 0, 0)
+	if status != http.StatusServiceUnavailable || resp.Error == "" {
+		t.Fatalf("query before SetSystem: status=%d error=%q, want 503 with error", status, resp.Error)
+	}
+
+	srv.SetSystem(trainedSystem(t))
+	if status := getJSON(t, base+"/readyz", &h); status != http.StatusOK {
+		t.Fatalf("/readyz after SetSystem = %d, want 200", status)
+	}
+	if status, resp := postQuery(t, base, approxRouteSQL, 0, 0); status != http.StatusOK {
+		t.Fatalf("query after SetSystem: status=%d (%s), want 200", status, resp.Error)
+	}
+}
+
+// TestAdmissionShedsAtQueueLimit floods a 1-slot, 1-queue server with slow
+// queries: some must succeed, the overflow must be shed as 503 with a
+// Retry-After header, and nothing may hang or return non-JSON.
+func TestAdmissionShedsAtQueueLimit(t *testing.T) {
+	sys := trainedSystem(t)
+	_, base := startServer(t, sys, Config{
+		MaxInFlight:    1,
+		QueueDepth:     1,
+		DefaultTimeout: 5 * time.Second,
+		Retries:        -1,
+	})
+
+	// Slow every scan down so requests overlap deterministically.
+	faults.Enable(faults.NewSchedule(1, faults.Injection{
+		Point:   faults.PointEngineScan,
+		Kind:    faults.KindLatency,
+		Latency: 100 * time.Millisecond,
+	}))
+	defer faults.Disable()
+
+	const n = 8
+	type outcome struct {
+		status int
+		err    error
+	}
+	outcomes := make([]outcome, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			status, _, err := tryPostQuery(base, approxRouteSQL, 0, 0)
+			outcomes[i] = outcome{status, err}
+		}(i)
+	}
+	wg.Wait()
+
+	var ok, shed int
+	for i, o := range outcomes {
+		if o.err != nil {
+			t.Fatalf("request %d: %v", i, o.err)
+		}
+		switch o.status {
+		case http.StatusOK:
+			ok++
+		case http.StatusServiceUnavailable:
+			shed++
+		default:
+			t.Errorf("request %d: unexpected status %d", i, o.status)
+		}
+	}
+	if ok == 0 {
+		t.Error("no request succeeded under overload")
+	}
+	if shed == 0 {
+		t.Errorf("no request shed with %d clients against capacity 2", n)
+	}
+
+	// Shed responses carry Retry-After so clients back off politely.
+	resp, err := testClient.Get(base + "/query?q=" + strings.ReplaceAll(approxRouteSQL, " ", "+"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}
+
+// TestShedResponseHasRetryAfter drives the admission path directly.
+func TestAdmissionUnit(t *testing.T) {
+	a := newAdmission(1, 1)
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatalf("first acquire: %v", err)
+	}
+	// Second caller queues; third is shed immediately.
+	queued := make(chan error, 1)
+	go func() {
+		queued <- a.acquire(context.Background())
+	}()
+	time.Sleep(20 * time.Millisecond) // let the second caller enter the queue
+	if err := a.acquire(context.Background()); err != ErrShed {
+		t.Fatalf("third acquire = %v, want ErrShed", err)
+	}
+	a.release()
+	if err := <-queued; err != nil {
+		t.Fatalf("queued acquire: %v", err)
+	}
+	a.release()
+
+	// A queued caller whose context dies gets the context error, and its
+	// ticket is returned (the queue does not leak).
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	if err := a.acquire(ctx); err != context.Canceled {
+		t.Fatalf("canceled queued acquire = %v, want context.Canceled", err)
+	}
+	a.release()
+	if err := a.acquire(context.Background()); err != nil {
+		t.Fatalf("acquire after canceled waiter should succeed: %v", err)
+	}
+	a.release()
+}
+
+// TestBreakerStateMachine drives every transition with a fake clock:
+// closed -> open after N consecutive failures, open sheds until the cooldown,
+// half-open admits exactly one probe, probe success closes, probe failure
+// reopens with a doubled cooldown.
+func TestBreakerStateMachine(t *testing.T) {
+	now := time.Unix(0, 0)
+	b := newBreaker(3, time.Second, 8*time.Second, 42)
+	b.now = func() time.Time { return now }
+
+	// Failures below the threshold keep it closed; a success resets the run.
+	for i := 0; i < 2; i++ {
+		if skip, _ := b.acquire(); skip {
+			t.Fatal("closed breaker must not skip")
+		}
+		b.record(false, true, true)
+	}
+	b.record(false, true, false) // success resets consecutive count
+	for i := 0; i < 2; i++ {
+		b.record(false, true, true)
+	}
+	if b.currentState() != breakerClosed {
+		t.Fatalf("state = %v after reset+2 failures, want closed", b.currentState())
+	}
+	b.record(false, true, true) // third consecutive failure opens
+	if b.currentState() != breakerOpen {
+		t.Fatalf("state = %v, want open", b.currentState())
+	}
+
+	// Open: everything skips the full database until the cooldown expires.
+	if skip, probe := b.acquire(); !skip || probe {
+		t.Fatalf("open breaker: skip=%v probe=%v, want skip", skip, probe)
+	}
+
+	// After the cooldown (jitter is at most +20%), exactly one probe goes
+	// through; followers still skip.
+	now = now.Add(1300 * time.Millisecond)
+	skip, probe := b.acquire()
+	if skip || !probe {
+		t.Fatalf("post-cooldown: skip=%v probe=%v, want probe", skip, probe)
+	}
+	if b.currentState() != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open", b.currentState())
+	}
+	if skip2, probe2 := b.acquire(); !skip2 || probe2 {
+		t.Fatalf("second caller during probe: skip=%v probe=%v, want skip", skip2, probe2)
+	}
+
+	// Probe failure reopens with doubled cooldown: 1.2x the base must still
+	// be open, 2.4x (past 2s + max jitter) must probe again.
+	b.record(true, true, true)
+	if b.currentState() != breakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.currentState())
+	}
+	now = now.Add(1300 * time.Millisecond)
+	if skip, _ := b.acquire(); !skip {
+		t.Fatal("doubled cooldown must still be open at 1.3x base")
+	}
+	now = now.Add(1200 * time.Millisecond)
+	skip, probe = b.acquire()
+	if skip || !probe {
+		t.Fatalf("after doubled cooldown: skip=%v probe=%v, want probe", skip, probe)
+	}
+
+	// A probe that never reached the full rung (the approximation set
+	// answered) releases the probe slot without closing the breaker.
+	b.record(true, false, false)
+	if b.currentState() != breakerHalfOpen {
+		t.Fatalf("state = %v, want half-open after no-op probe", b.currentState())
+	}
+	skip, probe = b.acquire()
+	if skip || !probe {
+		t.Fatal("probe slot must be reusable after a no-op probe")
+	}
+
+	// Probe success closes the breaker and resets the failure count.
+	b.record(true, true, false)
+	if b.currentState() != breakerClosed {
+		t.Fatalf("state after probe success = %v, want closed", b.currentState())
+	}
+	if skip, _ := b.acquire(); skip {
+		t.Fatal("closed breaker must admit")
+	}
+}
+
+// TestDrainWaitsForInflight: Shutdown lets an in-flight query finish (well
+// within the drain deadline), refuses new work, and closes the listener.
+func TestDrainWaitsForInflight(t *testing.T) {
+	sys := trainedSystem(t)
+	srv, base := startServer(t, sys, Config{
+		MaxInFlight:    2,
+		DefaultTimeout: 5 * time.Second,
+		DrainTimeout:   5 * time.Second,
+		Retries:        -1,
+	})
+
+	faults.Enable(faults.NewSchedule(1, faults.Injection{
+		Point:    faults.PointEngineScan,
+		Kind:     faults.KindLatency,
+		Latency:  300 * time.Millisecond,
+		MaxFires: 1,
+	}))
+	defer faults.Disable()
+
+	type reply struct {
+		status int
+		resp   QueryResponse
+		err    error
+	}
+	inflight := make(chan reply, 1)
+	go func() {
+		status, resp, err := tryPostQuery(base, approxRouteSQL, 0, 0)
+		inflight <- reply{status, resp, err}
+	}()
+	time.Sleep(100 * time.Millisecond) // let the slow query get admitted
+
+	start := time.Now()
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	took := time.Since(start)
+
+	r := <-inflight
+	if r.err != nil || r.status != http.StatusOK {
+		t.Fatalf("in-flight query during drain: status=%d err=%v (%s), want 200", r.status, r.err, r.resp.Error)
+	}
+	if took > 3*time.Second {
+		t.Errorf("drain took %s, should end soon after the in-flight query", took)
+	}
+	// The listener is gone: new requests fail at the transport level.
+	if _, _, err := tryPostQuery(base, approxRouteSQL, 0, 0); err == nil {
+		t.Error("request after drain should fail to connect")
+	}
+}
+
+// TestDrainDeadlineCancelsStragglers: when in-flight queries outlive the
+// drain deadline, Shutdown reports the overrun but still returns promptly
+// and cancels the work instead of hanging.
+func TestDrainDeadlineCancelsStragglers(t *testing.T) {
+	sys := trainedSystem(t)
+	srv, base := startServer(t, sys, Config{
+		MaxInFlight:    1,
+		DefaultTimeout: 5 * time.Second,
+		DrainTimeout:   100 * time.Millisecond,
+		Retries:        -1,
+	})
+
+	faults.Enable(faults.NewSchedule(1, faults.Injection{
+		Point:    faults.PointEngineScan,
+		Kind:     faults.KindLatency,
+		Latency:  700 * time.Millisecond,
+		MaxFires: 1,
+	}))
+	defer faults.Disable()
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = tryPostQuery(base, approxRouteSQL, 0, 0)
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	start := time.Now()
+	err := srv.Shutdown(context.Background())
+	if took := time.Since(start); took > 3*time.Second {
+		t.Fatalf("shutdown took %s, must not hang on stragglers", took)
+	}
+	if err == nil {
+		t.Error("shutdown should report the drain-deadline overrun")
+	}
+	<-done
+}
+
+// TestObsCountersWired: the serving counters land in the default registry.
+func TestObsCountersWired(t *testing.T) {
+	obs.SetEnabled(true)
+	defer obs.SetEnabled(false)
+	obs.Default().Reset()
+
+	sys := trainedSystem(t)
+	srv, base := startServer(t, sys, Config{MaxInFlight: 2})
+	if status, resp := postQuery(t, base, approxRouteSQL, 0, 0); status != http.StatusOK {
+		t.Fatalf("query: %d (%s)", status, resp.Error)
+	}
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	snap := obs.Default().Snapshot()
+	for _, name := range []string{"server/requests", "server/admitted", "server/drains"} {
+		if snap.Counters[name] == 0 {
+			t.Errorf("counter %s = 0, want > 0 (have %v)", name, snap.Counters)
+		}
+	}
+	if snap.Histograms["server/request_seconds"].Count == 0 {
+		t.Error("server/request_seconds histogram empty")
+	}
+	if snap.Histograms["server/drain_seconds"].Count == 0 {
+		t.Error("server/drain_seconds histogram empty")
+	}
+}

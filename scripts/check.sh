@@ -35,6 +35,12 @@ go test -race -timeout 5m -count=1 \
 	-run 'TestChaos|TestScanFaultInjection|TestPreprocessCancellationPerStage|TestTrainRecoversFromInjectedNaN|TestQueryPanicRecovered' \
 	./internal/core/ ./internal/engine/
 
+# Serving gate: the HTTP layer's admission control, circuit breaker, drain,
+# and chaos tests (concurrent clients + fault injection) must stay race-free.
+# -count=1 defeats the cache so the goroutine-leak checks rerun every time.
+echo "==> serving gate: internal/server under -race"
+go test -race -count=1 -timeout 5m ./internal/server/
+
 # Bench smoke: the Fig2 benches cover the scoring hot loop (serial vs
 # parallel vs reference-cached) plus the end-to-end Figure 2 harness; pass
 # extra args (e.g. -bench=.) to widen the sweep.
@@ -42,5 +48,31 @@ bench_out="BENCH_$(date +%Y%m%d).json"
 echo "==> go test -bench=Fig2 -benchtime=1x -run='^\$' ./...  (-> ${bench_out})"
 go test -bench=Fig2 -benchtime=1x -run='^$' "$@" ./... |
 	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
+
+# Serving bench: closed-loop HTTP load at 1x/4x/16x admission capacity,
+# recording throughput, p50/p99 latency, and shed rate.
+echo "==> go test -bench=ServeLoad ./internal/server/  (-> ${bench_out})"
+go test -bench=ServeLoad -benchtime=200x -run='^$' ./internal/server/ |
+	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
+
+# Loadgen smoke: boot a real asqp-serve process on a tiny dataset, point
+# asqp-loadgen at it, and record the end-to-end numbers. Fails if any
+# response is malformed. The binary is built and exec'd directly (not
+# `go run`) so the recorded pid is the server itself and the TERM below
+# actually exercises — and completes — the graceful drain.
+echo "==> loadgen smoke: asqp-serve + asqp-loadgen  (-> ${bench_out})"
+serve_port=18479
+serve_bin="$(mktemp -t asqp-serve.XXXXXX)"
+go build -o "${serve_bin}" ./cmd/asqp-serve
+"${serve_bin}" -addr "localhost:${serve_port}" -scale 0.02 -k 150 -light \
+	-log warn >/dev/null &
+serve_pid=$!
+trap 'kill "${serve_pid}" 2>/dev/null || true; rm -f "${serve_bin}"' EXIT
+go run ./cmd/asqp-loadgen -url "http://localhost:${serve_port}" \
+	-clients 8 -duration 3s -label LoadgenSmoke -json "${bench_out}"
+kill -TERM "${serve_pid}" 2>/dev/null || true
+wait "${serve_pid}" 2>/dev/null || true
+rm -f "${serve_bin}"
+trap - EXIT
 
 echo "==> all checks passed; bench results appended to ${bench_out}"
