@@ -27,6 +27,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"asqprl/internal/obs"
 )
 
 type result struct {
@@ -62,6 +64,7 @@ func main() {
 	timeoutMs := flag.Int("timeout-ms", 0, "per-query timeout_ms sent to the server (0 = server default)")
 	jsonOut := flag.String("json", "", "append the run's JSON record to this file (e.g. BENCH_<date>.json)")
 	label := flag.String("label", "LoadgenServe", "benchmark name recorded in the JSON output")
+	trace := flag.Bool("traceparent", true, "send a W3C traceparent header per request and check the server echoes the trace ID")
 	var queries queryList
 	flag.Var(&queries, "query", "query to fire (repeatable; defaults to an IMDB mix)")
 	flag.Parse()
@@ -94,8 +97,17 @@ func main() {
 			defer wg.Done()
 			for i := 0; time.Now().Before(deadline); i++ {
 				sql := queries[(id+i)%len(queries)]
+				// Each request carries its own W3C trace identity; a traced
+				// server must echo the same trace ID back, so a mismatch is a
+				// correctness failure, not a formatting nit.
+				var traceparent string
+				var tid obs.TraceID
+				if *trace {
+					tid = obs.NewTraceID()
+					traceparent = obs.FormatTraceparent(tid, obs.NewSpanID(), true)
+				}
 				t0 := time.Now()
-				status, body, err := post(client, *url+"/query", sql, *timeoutMs)
+				status, body, err := post(client, *url+"/query", sql, *timeoutMs, traceparent)
 				ms := float64(time.Since(t0).Microseconds()) / 1000
 				mu.Lock()
 				res.Requests++
@@ -104,6 +116,8 @@ func main() {
 				case err != nil:
 					res.Errors++
 				case !json.Valid(body):
+					res.Malformed++
+				case traceparent != "" && !traceIDMatches(body, tid):
 					res.Malformed++
 				case status == http.StatusOK:
 					res.OK++
@@ -164,19 +178,39 @@ func main() {
 	}
 }
 
-func post(client *http.Client, url, sql string, timeoutMs int) (int, []byte, error) {
+func post(client *http.Client, url, sql string, timeoutMs int, traceparent string) (int, []byte, error) {
 	req := map[string]any{"sql": sql}
 	if timeoutMs > 0 {
 		req["timeout_ms"] = timeoutMs
 	}
 	payload, _ := json.Marshal(req)
-	resp, err := client.Post(url, "application/json", bytes.NewReader(payload))
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(payload))
+	if err != nil {
+		return 0, nil, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	if traceparent != "" {
+		hreq.Header.Set("traceparent", traceparent)
+	}
+	resp, err := client.Do(hreq)
 	if err != nil {
 		return 0, nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	return resp.StatusCode, body, err
+}
+
+// traceIDMatches checks that a response either omits trace_id (tracing off
+// server-side) or echoes exactly the trace ID this request was sent under.
+func traceIDMatches(body []byte, tid obs.TraceID) bool {
+	var resp struct {
+		TraceID string `json:"trace_id"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil {
+		return false
+	}
+	return resp.TraceID == "" || resp.TraceID == tid.String()
 }
 
 func waitReady(base string, patience time.Duration) error {

@@ -61,14 +61,35 @@ func main() {
 	breakerTrips := flag.Int("breaker-trips", 5, "consecutive full-DB guard trips that open the circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "initial breaker open duration (doubles per failed probe)")
 	parallelism := flag.Int("parallelism", 0, "per-query execution workers (0 = one per CPU, <0 = serial)")
-	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans and /debug/pprof on this address")
+	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans, /tracez and /debug/pprof on this address")
 	logLevel := flag.String("log", "info", "structured log level on stderr (debug, info, warn, error, off)")
+	traceDir := flag.String("trace-dir", "", "export tail-sampled traces as rotated JSONL files in this directory")
+	traceSample := flag.Float64("trace-sample", 0.01, "fraction of healthy traces kept by the tail sampler (errors, degraded and slow traces are always kept)")
+	traceSlow := flag.Duration("trace-slow", 500*time.Millisecond, "latency above which a trace counts as slow and is always kept")
 	flag.Parse()
 
 	if *logLevel != "" && *logLevel != "off" {
 		obs.EnableLogging(os.Stderr, obs.ParseLevel(*logLevel))
 	}
 	obs.SetEnabled(true)
+
+	// Tracing is always configured for the serving binary: the tail sampler
+	// keeps every error/degraded/slow trace in memory for /tracez, and
+	// -trace-dir additionally persists them as rotated JSONL.
+	var exporter *obs.JSONLExporter
+	if *traceDir != "" {
+		var err error
+		exporter, err = obs.NewJSONLExporter(*traceDir, 0, 0)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exporting traces to %s\n", exporter.Dir())
+	}
+	obs.ConfigureTracing(obs.TracingConfig{
+		SampleRate:    *traceSample,
+		SlowThreshold: *traceSlow,
+		Exporter:      exporter,
+	})
 
 	var debug *obs.DebugServer
 	if *debugAddr != "" {
@@ -77,7 +98,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("debug server on http://%s (/metrics, /spans, /debug/pprof)\n", debug.Addr())
+		fmt.Printf("debug server on http://%s (/metrics, /spans, /tracez, /debug/pprof)\n", debug.Addr())
 	}
 
 	srv := server.New(nil, server.Config{
@@ -125,6 +146,14 @@ func main() {
 		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)
 		defer cancel()
 		_ = debug.Shutdown(shutCtx)
+	}
+	// Stop sampling before closing the export file so no trace races the
+	// close; writes are synchronous, so everything sampled so far is on disk.
+	obs.DisableTracing()
+	if exporter != nil {
+		if err := exporter.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "asqp-serve: trace export:", err)
+		}
 	}
 	fmt.Println("drained; bye")
 }

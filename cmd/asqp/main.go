@@ -70,6 +70,8 @@ func main() {
 	queryTimeout := flag.Duration("query-timeout", 0, "per-query deadline; an expired query returns a deadline error (0 = none)")
 	maxRows := flag.Int("max-rows", 0, "per-query result-row budget; on a trip the partial rows are returned marked degraded (0 = unlimited)")
 	parallelism := flag.Int("parallelism", 0, "worker count for query execution, scoring and RL updates (0 = one per CPU, <0 = serial); results are identical for every setting")
+	traceDir := flag.String("trace-dir", "", "export tail-sampled query traces as rotated JSONL files in this directory (also enables tracing)")
+	traceSlow := flag.Duration("trace-slow", 500*time.Millisecond, "latency above which a trace counts as slow and is always kept")
 	var queries queryList
 	flag.Var(&queries, "query", "query to answer after training (repeatable)")
 	flag.Parse()
@@ -82,7 +84,23 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Printf("debug server on http://%s (/metrics, /spans, /debug/pprof)\n", addr)
+		fmt.Printf("debug server on http://%s (/metrics, /spans, /tracez, /debug/pprof)\n", addr)
+	}
+	var exporter *obs.JSONLExporter
+	if *traceDir != "" {
+		var err error
+		exporter, err = obs.NewJSONLExporter(*traceDir, 0, 0)
+		if err != nil {
+			fatal(err)
+		}
+		// Batch CLI traces are few and all interesting: keep everything.
+		obs.ConfigureTracing(obs.TracingConfig{SampleRate: 1, SlowThreshold: *traceSlow, Exporter: exporter})
+		defer func() {
+			obs.DisableTracing()
+			if err := exporter.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, "asqp: trace export:", err)
+			}
+		}()
 	}
 
 	db, err := loadDB(*dataset, *dataDir, *scale, *seed)

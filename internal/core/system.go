@@ -353,6 +353,13 @@ func (s *System) QueryStmt(stmt *sqlparse.Select) (*QueryResult, error) {
 func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, opts QueryOptions) (*QueryResult, error) {
 	start := time.Now()
 	opts = opts.normalize()
+	// Trace the ladder: the span joins the caller's trace (the serving
+	// layer's request span) or opens one for direct core callers. Every
+	// degradation decision below lands on it as a span event, so a tail
+	// trace explains *why* a query was slow or degraded, not just that it
+	// was.
+	ctx, span := obs.StartSpan(ctx, "core/query")
+	defer span.End()
 	if opts.Timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, opts.Timeout)
@@ -373,11 +380,17 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 		Parallelism:         s.cfg.Parallelism,
 	}
 	useApprox := pred >= s.cfg.EstimatorThreshold
+	if span != nil {
+		span.Annotate("sql", stmt.String())
+		span.Annotate("predicted_score", pred)
+		span.Annotate("confidence", conf)
+		span.Annotate("route", map[bool]string{true: "approximation", false: "full"}[useApprox])
+	}
 
 	// Rung 1: approximation set, when the estimator trusts it.
 	var approxErr error
 	if useApprox {
-		res, err := s.runGuarded(ctx, s.setDB, stmt, eopts)
+		res, err := s.runGuarded(ctx, s.setDB, stmt, eopts, "approx")
 		if err == nil {
 			out.FromApproximation = true
 			out.Table = res.Table
@@ -385,11 +398,13 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 			return out, nil
 		}
 		if terminal(err) {
+			span.MarkError(err.Error())
 			s.recordQuery(nil, start, err)
 			return out, err
 		}
 		approxErr = err
 		s.noteGuardTrip(err)
+		span.Event("guard_trip", "rung", "approx", "kind", guardKindOrFault(err))
 	}
 
 	// Rung 2: full database, with retry/backoff for transient failures.
@@ -401,16 +416,19 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 		if obs.Enabled() {
 			obs.Default().Counter("core/query/full_skipped").Inc()
 		}
+		span.Event("breaker_skip", "rung", "full")
 	} else {
 		backoff := opts.Backoff
 		for attempt := 0; attempt <= opts.Retries; attempt++ {
 			if attempt > 0 {
+				span.Event("retry", "attempt", attempt, "backoff", backoff.String())
 				select {
 				case <-ctx.Done():
 					err := fmt.Errorf("%w: %v", engine.ErrCanceled, ctx.Err())
 					if errors.Is(ctx.Err(), context.DeadlineExceeded) {
 						err = fmt.Errorf("%w: %v", engine.ErrDeadline, ctx.Err())
 					}
+					span.MarkError(err.Error())
 					s.recordQuery(nil, start, err)
 					return out, err
 				case <-time.After(backoff):
@@ -421,7 +439,7 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 				}
 			}
 			out.FullAttempted = true
-			res, err := s.runGuarded(ctx, s.db, stmt, eopts)
+			res, err := s.runGuarded(ctx, s.db, stmt, eopts, "full")
 			if err == nil {
 				out.FullFailure = ""
 				out.FromApproximation = false
@@ -436,10 +454,12 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 				out.FullFailure = "fault"
 			}
 			if terminal(err) {
+				span.MarkError(err.Error())
 				s.recordQuery(nil, start, err)
 				return out, err
 			}
 			s.noteGuardTrip(err)
+			span.Event("guard_trip", "rung", "full", "kind", out.FullFailure, "attempt", attempt)
 			if res != nil && res.Table != nil {
 				partial = res // row-budget trip carried partial rows
 			}
@@ -462,6 +482,8 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 		out.DegradedReason = reason
 		out.FromApproximation = false
 		out.Table = partial.Table
+		span.MarkDegraded(reason)
+		span.Event("degraded", "reason", reason, "substitute", "partial_rows")
 		s.recordQuery(out, start, nil)
 		return out, nil
 	}
@@ -469,11 +491,13 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 	// routed past it, or a second chance after a transient rung-1 fault when
 	// the full database is off-limits anyway.
 	if !useApprox || opts.SkipFull {
-		if res, err := s.runGuarded(ctx, s.setDB, stmt, eopts); err == nil {
+		if res, err := s.runGuarded(ctx, s.setDB, stmt, eopts, "approx"); err == nil {
 			out.Degraded = true
 			out.DegradedReason = reason
 			out.FromApproximation = true
 			out.Table = res.Table
+			span.MarkDegraded(reason)
+			span.Event("degraded", "reason", reason, "substitute", "approximation")
 			s.recordQuery(out, start, nil)
 			return out, nil
 		} else if approxErr == nil {
@@ -486,17 +510,33 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 	if fullErr == nil {
 		fullErr = fmt.Errorf("core: query failed on every rung")
 	}
+	span.MarkError(fullErr.Error())
 	s.recordQuery(nil, start, fullErr)
 	return out, fullErr
 }
 
+// guardKindOrFault is GuardKind with "" mapped to "fault" for labeling.
+func guardKindOrFault(err error) string {
+	if kind := engine.GuardKind(err); kind != "" {
+		return kind
+	}
+	return "fault"
+}
+
 // runGuarded executes stmt on db under ctx, converting panics into errors so
-// a malformed plan or injected fault cannot crash the serving process.
-func (s *System) runGuarded(ctx context.Context, db *table.Database, stmt *sqlparse.Select, eopts engine.Options) (res *engine.Result, err error) {
+// a malformed plan or injected fault cannot crash the serving process. Each
+// rung runs under its own child span ("core/rung/approx" or
+// "core/rung/full"), which the engine's operator spans attach to; panic
+// recoveries land on it as events.
+func (s *System) runGuarded(ctx context.Context, db *table.Database, stmt *sqlparse.Select, eopts engine.Options, rung string) (res *engine.Result, err error) {
+	ctx, rspan := obs.StartSpan(ctx, "core/rung/"+rung)
+	defer rspan.End()
 	defer func() {
 		if r := recover(); r != nil {
 			res, err = nil, fmt.Errorf("core: query panic recovered: %v", r)
-			obs.Logger().Error("query panic recovered", "panic", r)
+			rspan.Event("panic_recovered", "panic", fmt.Sprint(r))
+			rspan.MarkError(fmt.Sprintf("panic: %v", r))
+			obs.LoggerCtx(ctx).Error("query panic recovered", "panic", r)
 			if obs.Enabled() {
 				obs.Default().Counter("core/query/panics_recovered").Inc()
 			}

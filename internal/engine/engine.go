@@ -7,6 +7,7 @@ import (
 	"strings"
 
 	"asqprl/internal/faults"
+	"asqprl/internal/obs"
 	"asqprl/internal/sqlparse"
 	"asqprl/internal/table"
 )
@@ -104,21 +105,58 @@ func ExecuteWith(db *table.Database, stmt *sqlparse.Select, opts Options) (*Resu
 // ErrRowBudget error.
 func ExecuteWithContext(ctx context.Context, db *table.Database, stmt *sqlparse.Select, opts Options) (*Result, error) {
 	g := newGuard(ctx, opts)
-	if t := startQueryTimer(); t != nil {
+	// Trace propagation: when the caller's context carries a span (a traced
+	// request from the serving layer or training pipeline), execution joins
+	// its trace with an engine/execute span plus per-operator children.
+	// Untraced calls — the scoring hot loop, plain ExecuteWith — pay only the
+	// context lookup and the nil-receiver no-ops.
+	span := obs.SpanFromContext(ctx).StartChild("engine/execute")
+	t := startQueryTimer()
+	if t != nil {
 		recordWorkers(opts.workers())
-		res, b, preds, err := executeWith(db, stmt, opts, t, g)
-		t.finish(b, preds, stmt, err)
-		return res, err
 	}
-	// Disabled path: drop the binder and predicates immediately so the
-	// plan state does not stay live (and GC-scannable) past execution.
-	res, _, _, err := executeWith(db, stmt, opts, nil, g)
+	// When both the timer and the span are off, the binder and predicates
+	// are dropped immediately so the plan state does not stay live (and
+	// GC-scannable) past execution.
+	res, b, preds, err := executeWith(db, stmt, opts, t, g, span)
+	if t != nil {
+		t.finish(b, preds, stmt, err)
+	}
+	if span != nil {
+		if b != nil {
+			span.Annotate("plan", planShape(b, preds, stmt))
+		}
+		if res != nil && res.Table != nil {
+			span.Annotate("rows_out", res.Table.NumRows())
+		}
+		if err != nil {
+			markSpanOutcome(span, err)
+		}
+		span.End()
+	}
 	return res, err
+}
+
+// markSpanOutcome records err on span. Guard trips (deadline, row budget,
+// cancellation) are expected control flow — the degradation ladder converts
+// them into tagged degraded answers — so they land as guard_trip events that
+// leave the trace's error status to the layer that decides the final outcome.
+// Anything else is a genuine fault and marks the span errored.
+func markSpanOutcome(span *obs.Span, err error) {
+	if span == nil || err == nil {
+		return
+	}
+	if kind := GuardKind(err); kind != "" {
+		span.Annotate("guard", kind)
+		span.Event("guard_trip", "kind", kind)
+		return
+	}
+	span.MarkError(err.Error())
 }
 
 // executeWith is the untimed execution pipeline. It returns the binder and
 // classified predicates so the caller can key metrics by plan shape.
-func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *queryTimer, g *guard) (*Result, *binder, []predClass, error) {
+func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *queryTimer, g *guard, span *obs.Span) (*Result, *binder, []predClass, error) {
 	if opts.MaxIntermediateRows <= 0 {
 		opts.MaxIntermediateRows = defaultMaxIntermediate
 	}
@@ -161,17 +199,22 @@ func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *que
 		return nil, b, nil, err
 	}
 	t.phase("plan")
-	joined, err := runJoins(b, preds, opts, g)
+	joined, err := runJoins(b, preds, opts, g, span)
 	if err != nil {
 		return nil, b, preds, err
 	}
 	t.phase("join")
 
 	if stmt.HasAggregates() {
+		aggSpan := span.StartChild("engine/aggregate")
 		out, err := aggregate(b, stmt, joined, g)
 		if err != nil {
+			markSpanOutcome(aggSpan, err)
+			aggSpan.End()
 			return nil, b, preds, err
 		}
+		aggSpan.Annotate("rows_out", out.NumRows())
+		aggSpan.End()
 		t.phase("aggregate")
 		res := &Result{Table: out}
 		res, err = finish(b, stmt, res, nil, true)
@@ -179,8 +222,14 @@ func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *que
 		return res, b, preds, err
 	}
 
+	projSpan := span.StartChild("engine/project")
 	out, lineage, err := project(b, stmt, joined, opts, g)
 	if err != nil {
+		markSpanOutcome(projSpan, err)
+		if out != nil {
+			projSpan.Annotate("rows_out", out.NumRows())
+		}
+		projSpan.End()
 		// A tripped output budget still carries the rows produced so far;
 		// surface them (un-finished) so callers can serve a tagged partial.
 		if out != nil {
@@ -188,6 +237,8 @@ func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *que
 		}
 		return nil, b, preds, err
 	}
+	projSpan.Annotate("rows_out", out.NumRows())
+	projSpan.End()
 	t.phase("project")
 	res := &Result{Table: out, Lineage: lineage}
 	res, err = finish(b, stmt, res, joined, false)
@@ -245,66 +296,35 @@ func classify(b *binder, stmt *sqlparse.Select) ([]predClass, error) {
 	return preds, nil
 }
 
-// runJoins executes the scan + join pipeline and returns joined rows.
-func runJoins(b *binder, preds []predClass, opts Options, g *guard) ([]joinedRow, error) {
+// runJoins executes the scan + join pipeline and returns joined rows. When
+// span is a live trace span, scan and join phases attach child spans with
+// per-relation and output row counts.
+func runJoins(b *binder, preds []predClass, opts Options, g *guard, span *obs.Span) (out []joinedRow, err error) {
 	n := len(b.tables)
 
-	// Per-relation filtered candidates.
-	candidates := make([][]int32, n)
-	for rel := 0; rel < n; rel++ {
-		if faults.Active() {
-			if err := faults.Inject(faults.PointEngineScan); err != nil {
-				return nil, err
-			}
-		}
-		var filters []sqlparse.Expr
-		for _, p := range preds {
-			if len(p.rels) == 1 && p.rels[0] == rel {
-				filters = append(filters, p.expr)
-			}
-			// Constant conjuncts (no column references) are applied at the
-			// scan of relation 0 so they are evaluated exactly once per row
-			// and errors (e.g. aggregates in WHERE) surface.
-			if len(p.rels) == 0 && rel == 0 {
-				filters = append(filters, p.expr)
-			}
-		}
-		rows := b.tables[rel].Rows
-		if workers := opts.workers(); workers > 1 && len(rows) >= parallelMinRows {
-			keep, err := scanFilterParallel(b, rel, filters, g, workers)
-			if err != nil {
-				return nil, err
-			}
-			candidates[rel] = keep
-			continue
-		}
-		keep := make([]int32, 0, len(rows))
-		probe := make(joinedRow, n)
-		for i := range probe {
-			probe[i] = -1
-		}
-		for i := range rows {
-			if err := g.tick(1); err != nil {
-				return nil, err
-			}
-			probe[rel] = int32(i)
-			ok := true
-			for _, f := range filters {
-				v, err := evalExpr(f, evalEnv{b: b, row: probe})
-				if err != nil {
-					return nil, err
-				}
-				if v.IsNull() || !truthy(v) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				keep = append(keep, int32(i))
-			}
-		}
-		candidates[rel] = keep
+	scanSpan := span.StartChild("engine/scan")
+	candidates, err := scanRelations(b, preds, opts, g)
+	if err != nil {
+		markSpanOutcome(scanSpan, err)
+		scanSpan.End()
+		return nil, err
 	}
+	if scanSpan != nil {
+		for rel := 0; rel < n; rel++ {
+			scanSpan.Annotate("rows/"+b.refs[rel].Name(), len(candidates[rel]))
+		}
+	}
+	scanSpan.End()
+
+	joinSpan := span.StartChild("engine/join")
+	defer func() {
+		if err != nil {
+			markSpanOutcome(joinSpan, err)
+		} else {
+			joinSpan.Annotate("rows_out", len(out))
+		}
+		joinSpan.End()
+	}()
 
 	// Left-deep joins in FROM order.
 	current := make([]joinedRow, 0, len(candidates[0]))
@@ -373,6 +393,68 @@ func runJoins(b *binder, preds []predClass, opts Options, g *guard) ([]joinedRow
 		}
 	}
 	return current, nil
+}
+
+// scanRelations produces the per-relation filtered candidate row lists (the
+// scan phase of runJoins).
+func scanRelations(b *binder, preds []predClass, opts Options, g *guard) ([][]int32, error) {
+	n := len(b.tables)
+	candidates := make([][]int32, n)
+	for rel := 0; rel < n; rel++ {
+		if faults.Active() {
+			if err := faults.Inject(faults.PointEngineScan); err != nil {
+				return nil, err
+			}
+		}
+		var filters []sqlparse.Expr
+		for _, p := range preds {
+			if len(p.rels) == 1 && p.rels[0] == rel {
+				filters = append(filters, p.expr)
+			}
+			// Constant conjuncts (no column references) are applied at the
+			// scan of relation 0 so they are evaluated exactly once per row
+			// and errors (e.g. aggregates in WHERE) surface.
+			if len(p.rels) == 0 && rel == 0 {
+				filters = append(filters, p.expr)
+			}
+		}
+		rows := b.tables[rel].Rows
+		if workers := opts.workers(); workers > 1 && len(rows) >= parallelMinRows {
+			keep, err := scanFilterParallel(b, rel, filters, g, workers)
+			if err != nil {
+				return nil, err
+			}
+			candidates[rel] = keep
+			continue
+		}
+		keep := make([]int32, 0, len(rows))
+		probe := make(joinedRow, n)
+		for i := range probe {
+			probe[i] = -1
+		}
+		for i := range rows {
+			if err := g.tick(1); err != nil {
+				return nil, err
+			}
+			probe[rel] = int32(i)
+			ok := true
+			for _, f := range filters {
+				v, err := evalExpr(f, evalEnv{b: b, row: probe})
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() || !truthy(v) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				keep = append(keep, int32(i))
+			}
+		}
+		candidates[rel] = keep
+	}
+	return candidates, nil
 }
 
 // joinStep binds relation rel into the current intermediate rows, using a

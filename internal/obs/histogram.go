@@ -40,6 +40,26 @@ type Histogram struct {
 	sumBits atomic.Uint64 // float64 bits, CAS-updated
 	minBits atomic.Uint64 // seeded with +Inf
 	maxBits atomic.Uint64 // seeded with -Inf
+	// exemplars retains, per bucket, the most recent traced observation, so
+	// a tail-latency bucket links to a concrete trace (/tracez, JSONL
+	// export). Written only by ObserveExemplar with a non-zero trace ID —
+	// untraced observations never allocate.
+	exemplars [numBuckets + 1]atomic.Pointer[Exemplar]
+}
+
+// Exemplar ties one histogram observation to the trace that produced it.
+type Exemplar struct {
+	TraceID TraceID
+	Value   float64
+	When    time.Time
+}
+
+// ExemplarSnapshot is a JSON-friendly exemplar with its bucket's upper bound.
+type ExemplarSnapshot struct {
+	LE      float64   `json:"le"` // bucket upper bound (+Inf rendered as the overflow bound)
+	Value   float64   `json:"value"`
+	TraceID string    `json:"trace_id"`
+	When    time.Time `json:"when"`
 }
 
 // NewHistogram returns an empty histogram ready for concurrent use.
@@ -64,6 +84,48 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
+
+// ObserveExemplar records one value and, when tid is a real trace, retains
+// the observation as the containing bucket's exemplar (most recent wins).
+// With a zero trace ID it is exactly Observe — no allocation.
+func (h *Histogram) ObserveExemplar(v float64, tid TraceID) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	idx := bucketIndex(v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	atomicAddFloat(&h.sumBits, v)
+	atomicMinFloat(&h.minBits, v)
+	atomicMaxFloat(&h.maxBits, v)
+	if !tid.IsZero() {
+		h.exemplars[idx].Store(&Exemplar{TraceID: tid, Value: v, When: time.Now()})
+	}
+}
+
+// ObserveDurationExemplar records a duration in seconds with an exemplar.
+func (h *Histogram) ObserveDurationExemplar(d time.Duration, tid TraceID) {
+	h.ObserveExemplar(d.Seconds(), tid)
+}
+
+// Exemplars returns the retained per-bucket exemplars, lowest bucket first.
+func (h *Histogram) Exemplars() []ExemplarSnapshot {
+	var out []ExemplarSnapshot
+	for i := 0; i <= numBuckets; i++ {
+		ex := h.exemplars[i].Load()
+		if ex == nil {
+			continue
+		}
+		_, hi := bucketRange(i)
+		out = append(out, ExemplarSnapshot{
+			LE:      hi,
+			Value:   ex.Value,
+			TraceID: ex.TraceID.String(),
+			When:    ex.When,
+		})
+	}
+	return out
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
@@ -132,26 +194,28 @@ func (h *Histogram) Max() float64 {
 
 // HistogramSnapshot is a point-in-time JSON-friendly view of a histogram.
 type HistogramSnapshot struct {
-	Count int64   `json:"count"`
-	Sum   float64 `json:"sum"`
-	Mean  float64 `json:"mean"`
-	Min   float64 `json:"min"`
-	Max   float64 `json:"max"`
-	P50   float64 `json:"p50"`
-	P90   float64 `json:"p90"`
-	P99   float64 `json:"p99"`
+	Count     int64              `json:"count"`
+	Sum       float64            `json:"sum"`
+	Mean      float64            `json:"mean"`
+	Min       float64            `json:"min"`
+	Max       float64            `json:"max"`
+	P50       float64            `json:"p50"`
+	P90       float64            `json:"p90"`
+	P99       float64            `json:"p99"`
+	Exemplars []ExemplarSnapshot `json:"exemplars,omitempty"`
 }
 
 // Snapshot captures count, sum, extrema, and p50/p90/p99 estimates.
 func (h *Histogram) Snapshot() HistogramSnapshot {
 	s := HistogramSnapshot{
-		Count: h.Count(),
-		Sum:   h.Sum(),
-		Min:   h.Min(),
-		Max:   h.Max(),
-		P50:   h.Quantile(0.50),
-		P90:   h.Quantile(0.90),
-		P99:   h.Quantile(0.99),
+		Count:     h.Count(),
+		Sum:       h.Sum(),
+		Min:       h.Min(),
+		Max:       h.Max(),
+		P50:       h.Quantile(0.50),
+		P90:       h.Quantile(0.90),
+		P99:       h.Quantile(0.99),
+		Exemplars: h.Exemplars(),
 	}
 	if s.Count > 0 {
 		s.Mean = s.Sum / float64(s.Count)

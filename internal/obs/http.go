@@ -13,8 +13,11 @@ import (
 // Handler returns the debug HTTP handler:
 //
 //	/            index linking the endpoints
-//	/metrics     JSON snapshot of the default registry
+//	/metrics     JSON snapshot of the default registry (?format=prom for
+//	             Prometheus text exposition with exemplars)
 //	/spans       last-N finished root span trees (?n= caps the count)
+//	/tracez      tail-sampled traces: slow/error/degraded views, slow-query
+//	             log, full trees by ?trace=<id>
 //	/debug/pprof the standard net/http/pprof handlers
 func Handler() http.Handler {
 	mux := http.NewServeMux()
@@ -25,14 +28,23 @@ func Handler() http.Handler {
 		}
 		w.Header().Set("Content-Type", "text/html; charset=utf-8")
 		fmt.Fprint(w, `<html><body><h1>asqp debug</h1><ul>`+
-			`<li><a href="/metrics">/metrics</a> — metrics registry snapshot (JSON)</li>`+
+			`<li><a href="/metrics">/metrics</a> — metrics registry snapshot (JSON; <a href="/metrics?format=prom">?format=prom</a>)</li>`+
 			`<li><a href="/spans">/spans</a> — recent span trees (JSON)</li>`+
+			`<li><a href="/tracez">/tracez</a> — tail-sampled traces and slow-query log</li>`+
 			`<li><a href="/debug/pprof/">/debug/pprof/</a> — runtime profiles</li>`+
 			`</ul></body></html>`)
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "prom" {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+			if err := WritePrometheus(w, Default()); err != nil {
+				Logger().Error("prometheus exposition failed", "err", err)
+			}
+			return
+		}
 		writeJSON(w, Default().Snapshot())
 	})
+	mux.HandleFunc("/tracez", handleTracez)
 	mux.HandleFunc("/spans", func(w http.ResponseWriter, r *http.Request) {
 		spans := RecentSpans()
 		if s := r.URL.Query().Get("n"); s != "" {

@@ -17,7 +17,10 @@ func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
 func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
 func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
 
-var defaultLogger atomic.Pointer[slog.Logger]
+var (
+	defaultLogger atomic.Pointer[slog.Logger]
+	loggingActive atomic.Bool
+)
 
 func init() {
 	defaultLogger.Store(slog.New(nopHandler{}))
@@ -27,11 +30,29 @@ func init() {
 // SetLogger) has been called, so call sites may log unconditionally.
 func Logger() *slog.Logger { return defaultLogger.Load() }
 
+// LoggerCtx returns the package logger stamped with ctx's trace ID, so every
+// log line written while serving a traced request links back to its trace.
+// When logging is off or ctx carries no span it is exactly Logger() — no
+// allocation.
+func LoggerCtx(ctx context.Context) *slog.Logger {
+	l := Logger()
+	if !loggingActive.Load() {
+		return l
+	}
+	if s := SpanFromContext(ctx); s != nil {
+		return l.With("trace_id", s.TraceID().String())
+	}
+	return l
+}
+
 // SetLogger replaces the package logger. Passing nil restores the no-op
 // logger.
 func SetLogger(l *slog.Logger) {
 	if l == nil {
 		l = slog.New(nopHandler{})
+		loggingActive.Store(false)
+	} else {
+		loggingActive.Store(true)
 	}
 	defaultLogger.Store(l)
 }

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in Prometheus text exposition format
+// (served at /metrics?format=prom) so standard scrapers work against the
+// debug server without a sidecar:
+//
+//   - counters become `<name>_total`;
+//   - gauges keep their name;
+//   - histograms expand into cumulative `_bucket{le=...}` samples plus
+//     `_sum`/`_count`, with each bucket's retained exemplar rendered in
+//     OpenMetrics style (`# {trace_id="..."} value timestamp`) so tail
+//     buckets link to concrete traces;
+//   - series (bounded learning curves) are skipped — they are iteration
+//     logs, not instantaneous samples, and belong to the JSON snapshot.
+//
+// Slash-separated metric names are sanitized to Prometheus identifiers
+// (`server/request_seconds` → `server_request_seconds`).
+func WritePrometheus(w io.Writer, r *Registry) error {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for n, c := range r.counters {
+		counters[n] = c
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for n, g := range r.gauges {
+		gauges[n] = g
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for n, h := range r.hists {
+		hists[n] = h
+	}
+	r.mu.RUnlock()
+
+	for _, name := range sortedKeys(counters) {
+		pn := promName(name) + "_total"
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, counters[name].Value()); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(gauges) {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", pn, pn, promFloat(gauges[name].Value())); err != nil {
+			return err
+		}
+	}
+	for _, name := range sortedKeys(hists) {
+		if err := writePromHistogram(w, promName(name), hists[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, pn string, h *Histogram) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", pn); err != nil {
+		return err
+	}
+	var cum int64
+	for i := 0; i <= numBuckets; i++ {
+		cum += h.counts[i].Load()
+		le := "+Inf"
+		if i < numBuckets {
+			le = promFloat(bucketBounds[i])
+		}
+		line := fmt.Sprintf("%s_bucket{le=%q} %d", pn, le, cum)
+		if ex := h.exemplars[i].Load(); ex != nil {
+			// OpenMetrics exemplar: `# {label="..."} value timestamp`.
+			line += fmt.Sprintf(" # {trace_id=%q} %s %s",
+				ex.TraceID.String(), promFloat(ex.Value),
+				promFloat(float64(ex.When.UnixNano())/1e9))
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", pn, promFloat(h.Sum()), pn, h.Count())
+	return err
+}
+
+// promName sanitizes a slash-path metric name into a Prometheus identifier.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(r >= '0' && r <= '9' && i > 0)
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+func promFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,264 @@
+package obs
+
+import (
+	"math/rand/v2"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// maxKeptTraces bounds the in-memory store of tail-sampled traces backing
+// /tracez.
+const maxKeptTraces = 128
+
+// maxSlowQueryKeys bounds the slow-query log (distinct canonical SQL texts).
+const maxSlowQueryKeys = 256
+
+// TraceRecord is one kept trace: the finished root span tree plus the tail
+// sampler's verdict. It is the unit of /tracez listing and JSONL export.
+type TraceRecord struct {
+	TraceID    string       `json:"trace_id"`
+	Verdict    string       `json:"verdict"` // "error" | "degraded" | "slow" | "forced" | "sampled"
+	DurationMS float64      `json:"duration_ms"`
+	Root       SpanSnapshot `json:"root"`
+}
+
+// TraceSink receives kept traces, e.g. the JSONL exporter. ExportTrace is
+// called synchronously from Span.End of a sampled root span and must be safe
+// for concurrent use.
+type TraceSink interface {
+	ExportTrace(rec TraceRecord) error
+}
+
+// TracingConfig tunes tail-based trace sampling. The decision is made when a
+// root span finishes, with the whole tree in hand:
+//
+//   - traces containing an errored span are always kept ("error");
+//   - traces containing a degraded span are always kept ("degraded");
+//   - traces at or over SlowThreshold are always kept ("slow");
+//   - traces whose incoming traceparent carried the sampled flag are always
+//     kept ("forced");
+//   - the remaining healthy traces are kept with probability SampleRate
+//     ("sampled") and dropped otherwise.
+type TracingConfig struct {
+	// SampleRate is the fraction of healthy traces kept, in [0, 1].
+	SampleRate float64
+	// SlowThreshold is the duration at or above which a trace is always
+	// kept. Zero disables the slow class.
+	SlowThreshold time.Duration
+	// Exporter, when non-nil, receives every kept trace.
+	Exporter TraceSink
+}
+
+var traceState atomic.Pointer[TracingConfig]
+
+// ConfigureTracing installs the tail sampling policy (and optional exporter)
+// process-wide and enables observability. Passing a new config replaces the
+// old one atomically; in-flight decisions use whichever config they loaded.
+func ConfigureTracing(cfg TracingConfig) {
+	if cfg.SampleRate < 0 {
+		cfg.SampleRate = 0
+	}
+	if cfg.SampleRate > 1 {
+		cfg.SampleRate = 1
+	}
+	SetEnabled(true)
+	traceState.Store(&cfg)
+}
+
+// DisableTracing removes the sampling policy: root spans are no longer
+// retained for /tracez or exported. Metric and span recording (Enabled) is
+// left untouched.
+func DisableTracing() { traceState.Store(nil) }
+
+// TracingConfigured returns the active tail-sampling config, or false when
+// tracing is off.
+func TracingConfigured() (TracingConfig, bool) {
+	cfg := traceState.Load()
+	if cfg == nil {
+		return TracingConfig{}, false
+	}
+	return *cfg, true
+}
+
+// tailConsider runs the tail-sampling decision for a finished root span.
+func tailConsider(s *Span) {
+	cfg := traceState.Load()
+	if cfg == nil {
+		return
+	}
+	d := s.Duration()
+	errMsg, degraded := s.status()
+	s.mu.Lock()
+	forced := s.forced
+	s.mu.Unlock()
+	var verdict string
+	switch {
+	case errMsg != "":
+		verdict = "error"
+	case degraded != "":
+		verdict = "degraded"
+	case cfg.SlowThreshold > 0 && d >= cfg.SlowThreshold:
+		verdict = "slow"
+	case forced:
+		verdict = "forced"
+	case cfg.SampleRate > 0 && rand.Float64() < cfg.SampleRate:
+		verdict = "sampled"
+	default:
+		Default().Counter("obs/trace/dropped").Inc()
+		return
+	}
+	rec := TraceRecord{
+		TraceID:    s.traceID.String(),
+		Verdict:    verdict,
+		DurationMS: float64(d) / float64(time.Millisecond),
+		Root:       s.Snapshot(),
+	}
+	Default().Counter("obs/trace/kept/" + verdict).Inc()
+	traceKeep.add(rec)
+	slowLog.observe(rec)
+	if cfg.Exporter != nil {
+		if err := cfg.Exporter.ExportTrace(rec); err != nil {
+			Default().Counter("obs/trace/export_errors").Inc()
+			Logger().Warn("trace export failed", "trace_id", rec.TraceID, "err", err)
+		}
+	}
+}
+
+// traceRing is a fixed-size circular buffer of kept traces.
+type traceRing struct {
+	mu   sync.Mutex
+	buf  [maxKeptTraces]TraceRecord
+	next int
+	n    int
+}
+
+var traceKeep = &traceRing{}
+
+func (r *traceRing) add(rec TraceRecord) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next = (r.next + 1) % maxKeptTraces
+	if r.n < maxKeptTraces {
+		r.n++
+	}
+	r.mu.Unlock()
+}
+
+// KeptTraces returns the tail-sampled traces, newest first.
+func KeptTraces() []TraceRecord {
+	traceKeep.mu.Lock()
+	defer traceKeep.mu.Unlock()
+	out := make([]TraceRecord, 0, traceKeep.n)
+	for i := 1; i <= traceKeep.n; i++ {
+		idx := traceKeep.next - i
+		if idx < 0 {
+			idx += maxKeptTraces
+		}
+		out = append(out, traceKeep.buf[idx])
+	}
+	return out
+}
+
+// KeptTrace returns the kept trace with the given hex trace ID.
+func KeptTrace(id string) (TraceRecord, bool) {
+	for _, rec := range KeptTraces() {
+		if rec.TraceID == id {
+			return rec, true
+		}
+	}
+	return TraceRecord{}, false
+}
+
+// SlowQueryStats aggregates kept traces per canonical SQL text (the root
+// span's "sql" attribute): how often the query appeared in kept traces, how
+// slow it got, and the trace ID of its most recent appearance — the /tracez
+// jumping-off point from "this query is slow" to "here is exactly what it
+// did".
+type SlowQueryStats struct {
+	SQL         string    `json:"sql"`
+	Count       int64     `json:"count"`
+	Errors      int64     `json:"errors"`
+	Degraded    int64     `json:"degraded"`
+	MaxMS       float64   `json:"max_ms"`
+	LastMS      float64   `json:"last_ms"`
+	LastTraceID string    `json:"last_trace_id"`
+	LastAt      time.Time `json:"last_at"`
+}
+
+// slowQueryLog is a bounded per-canonical-SQL aggregation of kept traces.
+// Keys beyond maxSlowQueryKeys evict the oldest-inserted entry (FIFO): the
+// log is a debugging aid, not an unbounded archive.
+type slowQueryLog struct {
+	mu      sync.Mutex
+	entries map[string]*SlowQueryStats
+	order   []string
+}
+
+var slowLog = &slowQueryLog{entries: map[string]*SlowQueryStats{}}
+
+func (l *slowQueryLog) observe(rec TraceRecord) {
+	sql, _ := rec.Root.Attrs["sql"].(string)
+	if sql == "" {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e := l.entries[sql]
+	if e == nil {
+		if len(l.order) >= maxSlowQueryKeys {
+			oldest := l.order[0]
+			l.order = l.order[1:]
+			delete(l.entries, oldest)
+		}
+		e = &SlowQueryStats{SQL: sql}
+		l.entries[sql] = e
+		l.order = append(l.order, sql)
+	}
+	e.Count++
+	if rec.Verdict == "error" {
+		e.Errors++
+	}
+	if rec.Verdict == "degraded" {
+		e.Degraded++
+	}
+	if rec.DurationMS > e.MaxMS {
+		e.MaxMS = rec.DurationMS
+	}
+	e.LastMS = rec.DurationMS
+	e.LastTraceID = rec.TraceID
+	e.LastAt = rec.Root.Start
+}
+
+// SlowQueries returns the slow-query log sorted by worst-case latency,
+// slowest first.
+func SlowQueries() []SlowQueryStats {
+	slowLog.mu.Lock()
+	out := make([]SlowQueryStats, 0, len(slowLog.entries))
+	for _, e := range slowLog.entries {
+		out = append(out, *e)
+	}
+	slowLog.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].MaxMS != out[j].MaxMS {
+			return out[i].MaxMS > out[j].MaxMS
+		}
+		return out[i].SQL < out[j].SQL
+	})
+	return out
+}
+
+// ResetTraces drops all kept traces and the slow-query log. Intended for
+// tests.
+func ResetTraces() {
+	traceKeep.mu.Lock()
+	traceKeep.buf = [maxKeptTraces]TraceRecord{}
+	traceKeep.next = 0
+	traceKeep.n = 0
+	traceKeep.mu.Unlock()
+	slowLog.mu.Lock()
+	slowLog.entries = map[string]*SlowQueryStats{}
+	slowLog.order = nil
+	slowLog.mu.Unlock()
+}

@@ -13,42 +13,124 @@ type spanCtxKey struct{}
 // for the /spans endpoint.
 const maxRootSpans = 64
 
+// maxSpanEvents bounds the number of timestamped events one span retains, so
+// a retry loop gone wild cannot grow a span without limit. Overflow is
+// counted in the last event's "dropped" attribute.
+const maxSpanEvents = 64
+
 // Span is one timed region of execution. Spans nest: starting a span under a
 // context that already carries one attaches it as a child, producing a
-// wall-clock tree. A nil *Span is a valid no-op receiver, which is what
-// StartSpan returns when observability is disabled.
+// wall-clock tree. Every span carries its trace's 128-bit TraceID and its own
+// 64-bit SpanID, so trees stitch into distributed traces across process
+// boundaries via W3C traceparent propagation. A nil *Span is a valid no-op
+// receiver, which is what StartSpan returns when observability is disabled.
 type Span struct {
-	name  string
-	start time.Time
+	name     string
+	start    time.Time
+	traceID  TraceID
+	spanID   SpanID
+	parentID SpanID
 
 	mu       sync.Mutex
 	end      time.Time
 	attrs    map[string]any
+	events   []SpanEvent
+	dropped  int // events beyond maxSpanEvents
 	children []*Span
+	errMsg   string
+	degraded string // degradation reason, "" when none
 	root     bool
+	forced   bool // incoming sampled flag: tail sampler must keep the trace
+}
+
+// SpanEvent is one timestamped point annotation inside a span (a retry, a
+// guard trip, a breaker decision, ...).
+type SpanEvent struct {
+	Name  string         `json:"name"`
+	At    time.Time      `json:"at"`
+	Attrs map[string]any `json:"attrs,omitempty"`
 }
 
 // StartSpan begins a span named name under ctx and returns a derived context
 // carrying it. End must be called on the returned span. When observability is
 // disabled it returns ctx unchanged and a nil span whose methods are no-ops.
+//
+// A span started under a context carrying another span joins that span's
+// trace as a child. A span started under a context carrying a remote trace
+// context (see ContextWithRemoteTrace) becomes the local root of the remote
+// trace: it inherits the remote trace ID and parent span ID, and a remote
+// sampled flag forces the tail sampler to keep the trace.
 func StartSpan(ctx context.Context, name string) (context.Context, *Span) {
 	if !Enabled() {
 		return ctx, nil
 	}
-	s := &Span{name: name, start: time.Now()}
+	s := &Span{name: name, start: time.Now(), spanID: NewSpanID()}
 	if parent, ok := ctx.Value(spanCtxKey{}).(*Span); ok && parent != nil {
+		s.traceID = parent.traceID
+		s.parentID = parent.spanID
 		parent.mu.Lock()
 		parent.children = append(parent.children, s)
 		parent.mu.Unlock()
+	} else if remote, ok := ctx.Value(remoteTraceKey{}).(remoteTrace); ok {
+		s.traceID = remote.tid
+		s.parentID = remote.parent
+		s.forced = remote.sampled
+		s.root = true
 	} else {
+		s.traceID = NewTraceID()
 		s.root = true
 	}
 	return context.WithValue(ctx, spanCtxKey{}, s), s
 }
 
+// SpanFromContext returns the span carried by ctx, or nil when there is none
+// (including when observability was disabled at StartSpan time).
+func SpanFromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// StartChild begins a child span directly under s, for call sites that have a
+// span in hand but no context plumbing (engine operators). It is nil-safe: a
+// nil receiver returns a nil child, so disabled paths stay allocation-free.
+// End must be called on the returned span.
+func (s *Span) StartChild(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{
+		name:    name,
+		start:   time.Now(),
+		traceID: s.traceID,
+		spanID:  NewSpanID(),
+	}
+	c.parentID = s.spanID
+	s.mu.Lock()
+	s.children = append(s.children, c)
+	s.mu.Unlock()
+	return c
+}
+
+// TraceID returns the span's trace ID (zero for a nil span).
+func (s *Span) TraceID() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.traceID
+}
+
+// SpanID returns the span's ID (zero for a nil span).
+func (s *Span) SpanID() SpanID {
+	if s == nil {
+		return SpanID{}
+	}
+	return s.spanID
+}
+
 // End finishes the span, fixing its duration. Root spans are published to the
-// recent-spans ring buffer. Calling End more than once keeps the first end
-// time.
+// recent-spans ring buffer and offered to the tail sampler (which may retain
+// them for /tracez and export them). Calling End more than once keeps the
+// first end time.
 func (s *Span) End() {
 	if s == nil {
 		return
@@ -61,6 +143,7 @@ func (s *Span) End() {
 	s.mu.Unlock()
 	if isRoot {
 		spanStore.add(s)
+		tailConsider(s)
 	}
 }
 
@@ -77,6 +160,60 @@ func (s *Span) Annotate(key string, value any) {
 	s.mu.Unlock()
 }
 
+// Event appends a timestamped event to the span. kv is alternating key/value
+// pairs (slog style); a trailing odd key is ignored. Events beyond
+// maxSpanEvents are dropped and counted.
+func (s *Span) Event(name string, kv ...any) {
+	if s == nil {
+		return
+	}
+	var attrs map[string]any
+	if len(kv) >= 2 {
+		attrs = make(map[string]any, len(kv)/2)
+		for i := 0; i+1 < len(kv); i += 2 {
+			k, ok := kv[i].(string)
+			if !ok {
+				continue
+			}
+			attrs[k] = kv[i+1]
+		}
+	}
+	s.mu.Lock()
+	if len(s.events) >= maxSpanEvents {
+		s.dropped++
+	} else {
+		s.events = append(s.events, SpanEvent{Name: name, At: time.Now(), Attrs: attrs})
+	}
+	s.mu.Unlock()
+}
+
+// MarkError records a failure on the span. The tail sampler always keeps
+// traces containing an errored span.
+func (s *Span) MarkError(msg string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.errMsg == "" {
+		s.errMsg = msg
+	}
+	s.mu.Unlock()
+}
+
+// MarkDegraded records that the span's request was answered degraded, with
+// the cause ("deadline", "rows", "fault", "breaker", ...). The tail sampler
+// always keeps traces containing a degraded span.
+func (s *Span) MarkDegraded(reason string) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	if s.degraded == "" {
+		s.degraded = reason
+	}
+	s.mu.Unlock()
+}
+
 // Duration returns the span's wall-clock duration (time since start if the
 // span has not ended, 0 for a nil span).
 func (s *Span) Duration() time.Duration {
@@ -85,23 +222,28 @@ func (s *Span) Duration() time.Duration {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.end.IsZero() {
-		return time.Since(s.start)
-	}
-	return s.end.Sub(s.start)
+	return s.durationLocked()
 }
 
 // SpanSnapshot is a JSON-friendly view of a finished span tree.
 type SpanSnapshot struct {
 	Name       string         `json:"name"`
+	TraceID    string         `json:"trace_id,omitempty"`
+	SpanID     string         `json:"span_id,omitempty"`
+	ParentID   string         `json:"parent_id,omitempty"`
 	Start      time.Time      `json:"start"`
 	DurationMS float64        `json:"duration_ms"`
+	Error      string         `json:"error,omitempty"`
+	Degraded   string         `json:"degraded,omitempty"`
 	Attrs      map[string]any `json:"attrs,omitempty"`
+	Events     []SpanEvent    `json:"events,omitempty"`
 	Children   []SpanSnapshot `json:"children,omitempty"`
 }
 
 // Snapshot renders the span and its subtree. Unfinished descendants report
-// their duration so far.
+// their duration so far. It is safe to call while descendants are still
+// running and mutating: every span's state is copied under that span's own
+// lock.
 func (s *Span) Snapshot() SpanSnapshot {
 	if s == nil {
 		return SpanSnapshot{}
@@ -109,13 +251,30 @@ func (s *Span) Snapshot() SpanSnapshot {
 	s.mu.Lock()
 	snap := SpanSnapshot{
 		Name:       s.name,
+		TraceID:    s.traceID.String(),
+		SpanID:     s.spanID.String(),
 		Start:      s.start,
 		DurationMS: float64(s.durationLocked()) / float64(time.Millisecond),
+		Error:      s.errMsg,
+		Degraded:   s.degraded,
+	}
+	if !s.parentID.IsZero() {
+		snap.ParentID = s.parentID.String()
 	}
 	if len(s.attrs) > 0 {
 		snap.Attrs = make(map[string]any, len(s.attrs))
 		for k, v := range s.attrs {
 			snap.Attrs[k] = v
+		}
+	}
+	if len(s.events) > 0 {
+		snap.Events = append([]SpanEvent(nil), s.events...)
+		if s.dropped > 0 {
+			snap.Events = append(snap.Events, SpanEvent{
+				Name:  "events_dropped",
+				At:    s.end,
+				Attrs: map[string]any{"dropped": s.dropped},
+			})
 		}
 	}
 	children := append([]*Span(nil), s.children...)
@@ -126,6 +285,31 @@ func (s *Span) Snapshot() SpanSnapshot {
 	return snap
 }
 
+// status walks the span's subtree and reports whether any span recorded an
+// error or a degradation, returning the first of each found (depth-first).
+func (s *Span) status() (errMsg, degraded string) {
+	if s == nil {
+		return "", ""
+	}
+	s.mu.Lock()
+	errMsg, degraded = s.errMsg, s.degraded
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		if errMsg != "" && degraded != "" {
+			break
+		}
+		ce, cd := c.status()
+		if errMsg == "" {
+			errMsg = ce
+		}
+		if degraded == "" {
+			degraded = cd
+		}
+	}
+	return errMsg, degraded
+}
+
 // durationLocked is Duration with s.mu already held.
 func (s *Span) durationLocked() time.Duration {
 	if s.end.IsZero() {
@@ -134,29 +318,49 @@ func (s *Span) durationLocked() time.Duration {
 	return s.end.Sub(s.start)
 }
 
-// spanRing retains the last maxRootSpans finished root spans.
+// spanRing retains the last maxRootSpans finished root spans in a fixed-size
+// circular buffer: adding is O(1) and allocation-free in steady state (the
+// slot array is allocated once and evicted pointers are overwritten in
+// place, never re-sliced — a [1:] re-slice would pin the whole backing array
+// and shift on every add).
 type spanRing struct {
-	mu    sync.Mutex
-	spans []*Span
+	mu   sync.Mutex
+	buf  [maxRootSpans]*Span
+	next int // slot the next add writes
+	n    int // occupied slots, ≤ maxRootSpans
 }
 
 var spanStore = &spanRing{}
 
 func (r *spanRing) add(s *Span) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.spans) >= maxRootSpans {
-		r.spans = r.spans[1:]
+	r.buf[r.next] = s
+	r.next = (r.next + 1) % maxRootSpans
+	if r.n < maxRootSpans {
+		r.n++
 	}
-	r.spans = append(r.spans, s)
+	r.mu.Unlock()
+}
+
+// list returns the retained spans, oldest first.
+func (r *spanRing) list() []*Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*Span, 0, r.n)
+	start := r.next - r.n
+	if start < 0 {
+		start += maxRootSpans
+	}
+	for i := 0; i < r.n; i++ {
+		out = append(out, r.buf[(start+i)%maxRootSpans])
+	}
+	return out
 }
 
 // RecentSpans returns snapshots of the most recently finished root span
 // trees, oldest first.
 func RecentSpans() []SpanSnapshot {
-	spanStore.mu.Lock()
-	spans := append([]*Span(nil), spanStore.spans...)
-	spanStore.mu.Unlock()
+	spans := spanStore.list()
 	out := make([]SpanSnapshot, len(spans))
 	for i, s := range spans {
 		out[i] = s.Snapshot()
@@ -167,6 +371,8 @@ func RecentSpans() []SpanSnapshot {
 // ResetSpans drops all retained root spans. Intended for tests.
 func ResetSpans() {
 	spanStore.mu.Lock()
-	spanStore.spans = nil
+	spanStore.buf = [maxRootSpans]*Span{}
+	spanStore.next = 0
+	spanStore.n = 0
 	spanStore.mu.Unlock()
 }

@@ -266,6 +266,9 @@ type QueryResponse struct {
 	Confidence     float64  `json:"confidence,omitempty"`
 	ElapsedMs      float64  `json:"elapsed_ms"`
 	Error          string   `json:"error,omitempty"`
+	// TraceID links the response to its distributed trace (also echoed in
+	// the traceparent response header). Present whenever tracing is enabled.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // handleQuery runs one query through admission control, breaker routing, and
@@ -275,20 +278,41 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if obs.Enabled() {
 		obs.Default().Counter("server/requests").Inc()
 	}
+	// Join the caller's trace (W3C traceparent) or start a fresh one. The
+	// root span opens before the drain/readiness checks so shed requests
+	// leave a trace naming the cause, and the response always carries the
+	// trace ID (header + JSON) for correlation.
+	ctx := r.Context()
+	if h := r.Header.Get("traceparent"); h != "" {
+		if tid, parent, sampled, perr := obs.ParseTraceparent(h); perr == nil {
+			ctx = obs.ContextWithRemoteTrace(ctx, tid, parent, sampled)
+		} else if obs.Enabled() {
+			obs.Default().Counter("server/traceparent_invalid").Inc()
+		}
+	}
+	ctx, span := obs.StartSpan(ctx, "server/query")
+	defer span.End()
+	if span != nil {
+		span.Annotate("method", r.Method)
+		w.Header().Set("traceparent", obs.FormatTraceparent(span.TraceID(), span.SpanID(), true))
+	}
 	if s.draining.Load() {
-		s.writeErr(w, http.StatusServiceUnavailable, start, "draining", true)
+		span.Event("shed", "cause", "draining")
+		s.writeErr(w, span, http.StatusServiceUnavailable, start, "draining", true)
 		return
 	}
 	sys := s.sys.Load()
 	if sys == nil {
-		s.writeErr(w, http.StatusServiceUnavailable, start, "not ready: no system loaded", true)
+		span.Event("shed", "cause", "not_ready")
+		s.writeErr(w, span, http.StatusServiceUnavailable, start, "not ready: no system loaded", true)
 		return
 	}
 	req, err := parseQueryRequest(r)
 	if err != nil {
-		s.writeErr(w, http.StatusBadRequest, start, err.Error(), false)
+		s.writeErr(w, span, http.StatusBadRequest, start, err.Error(), false)
 		return
 	}
+	span.Annotate("sql", req.SQL)
 
 	// Per-request deadline: client wish, clamped into (0, MaxTimeout], or the
 	// server default. The admission wait runs under the same deadline so a
@@ -307,28 +331,34 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	// Tie the query to both the connection (client gone = cancel) and the
 	// server's base context (drain deadline = cancel).
-	ctx, cancel := context.WithTimeout(r.Context(), timeout)
+	ctx, cancel := context.WithTimeout(ctx, timeout)
 	defer cancel()
 	stop := context.AfterFunc(s.baseCtx, cancel)
 	defer stop()
 
 	if err := s.adm.acquire(ctx); err != nil {
 		if errors.Is(err, ErrShed) {
-			s.writeErr(w, http.StatusServiceUnavailable, start, "overloaded: in-flight and queue limits reached", true)
+			span.Event("shed", "cause", "admission", "in_flight", s.adm.inFlight())
+			s.writeErr(w, span, http.StatusServiceUnavailable, start, "overloaded: in-flight and queue limits reached", true)
 			return
 		}
-		s.writeErr(w, statusForError(err), start, "canceled while queued: "+err.Error(), false)
+		s.writeErr(w, span, statusForError(err), start, "canceled while queued: "+err.Error(), false)
 		return
 	}
 	defer s.adm.release()
 
 	stmt, perr := sqlparse.Parse(req.SQL)
 	if perr != nil {
-		s.writeErr(w, http.StatusBadRequest, start, "parse error: "+perr.Error(), false)
+		s.writeErr(w, span, http.StatusBadRequest, start, "parse error: "+perr.Error(), false)
 		return
 	}
 
 	skipFull, probe := s.brk.acquire()
+	if skipFull {
+		span.Event("breaker_open", "state", s.brk.currentState().String())
+	} else if probe {
+		span.Event("breaker_probe")
+	}
 	opts := core.QueryOptions{
 		Timeout:  0, // ctx already carries the deadline
 		MaxRows:  maxRows,
@@ -340,7 +370,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	s.brk.record(probe, res != nil && res.FullAttempted, fullRungFailed(res))
 
 	if qerr != nil {
-		s.writeErr(w, statusForError(qerr), start, qerr.Error(), false)
+		s.writeErr(w, span, statusForError(qerr), start, qerr.Error(), false)
 		return
 	}
 	resp := &QueryResponse{
@@ -353,15 +383,21 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		PredictedScore: res.PredictedScore,
 		Confidence:     res.Confidence,
 	}
+	if span != nil {
+		resp.TraceID = span.TraceID().String()
+	}
 	if res.FromApproximation {
 		resp.Source = "approximation"
+	}
+	if res.Degraded {
+		span.MarkDegraded(res.DegradedReason)
 	}
 	if obs.Enabled() {
 		reg := obs.Default()
 		if res.Degraded {
 			reg.Counter("server/degraded").Inc()
 		}
-		reg.Histogram("server/request_seconds").ObserveDuration(time.Since(start))
+		reg.Histogram("server/request_seconds").ObserveDurationExemplar(time.Since(start), span.TraceID())
 	}
 	s.writeJSON(w, http.StatusOK, start, resp)
 }
@@ -473,10 +509,12 @@ func statusForError(err error) int {
 	}
 }
 
-func (s *Server) writeErr(w http.ResponseWriter, status int, start time.Time, msg string, shed bool) {
+func (s *Server) writeErr(w http.ResponseWriter, span *obs.Span, status int, start time.Time, msg string, shed bool) {
 	if status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", "1")
 	}
+	span.MarkError(msg)
+	span.Annotate("http_status", status)
 	if obs.Enabled() {
 		reg := obs.Default()
 		if shed {
@@ -484,8 +522,13 @@ func (s *Server) writeErr(w http.ResponseWriter, status int, start time.Time, ms
 		} else {
 			reg.Counter("server/errors").Inc()
 		}
+		reg.Histogram("server/request_seconds").ObserveDurationExemplar(time.Since(start), span.TraceID())
 	}
-	s.writeJSON(w, status, start, &QueryResponse{Error: msg})
+	resp := &QueryResponse{Error: msg}
+	if span != nil {
+		resp.TraceID = span.TraceID().String()
+	}
+	s.writeJSON(w, status, start, resp)
 }
 
 func (s *Server) writeJSON(w http.ResponseWriter, status int, start time.Time, v any) {

@@ -55,6 +55,12 @@ echo "==> go test -bench=ServeLoad ./internal/server/  (-> ${bench_out})"
 go test -bench=ServeLoad -benchtime=200x -run='^$' ./internal/server/ |
 	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
 
+# Trace-export overhead: ns per exported span tree and per ring add, recorded
+# alongside the other benches so export-path regressions show in the history.
+echo "==> go test -bench='TraceExport|SpanRingAdd' ./internal/obs/  (-> ${bench_out})"
+go test -bench='TraceExport|SpanRingAdd' -benchtime=10000x -run='^$' ./internal/obs/ |
+	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
+
 # Loadgen smoke: boot a real asqp-serve process on a tiny dataset, point
 # asqp-loadgen at it, and record the end-to-end numbers. Fails if any
 # response is malformed. The binary is built and exec'd directly (not
@@ -63,16 +69,27 @@ go test -bench=ServeLoad -benchtime=200x -run='^$' ./internal/server/ |
 echo "==> loadgen smoke: asqp-serve + asqp-loadgen  (-> ${bench_out})"
 serve_port=18479
 serve_bin="$(mktemp -t asqp-serve.XXXXXX)"
+trace_dir="$(mktemp -d -t asqp-traces.XXXXXX)"
 go build -o "${serve_bin}" ./cmd/asqp-serve
 "${serve_bin}" -addr "localhost:${serve_port}" -scale 0.02 -k 150 -light \
+	-trace-dir "${trace_dir}" -trace-sample 1 \
 	-log warn >/dev/null &
 serve_pid=$!
-trap 'kill "${serve_pid}" 2>/dev/null || true; rm -f "${serve_bin}"' EXIT
+trap 'kill "${serve_pid}" 2>/dev/null || true; rm -f "${serve_bin}"; rm -rf "${trace_dir}"' EXIT
 go run ./cmd/asqp-loadgen -url "http://localhost:${serve_port}" \
 	-clients 8 -duration 3s -label LoadgenSmoke -json "${bench_out}"
 kill -TERM "${serve_pid}" 2>/dev/null || true
 wait "${serve_pid}" 2>/dev/null || true
 rm -f "${serve_bin}"
+
+# Tracing gate: the smoke run above exported every trace (sample rate 1, with
+# the loadgen stamping a traceparent on each request). The export must parse
+# as JSONL and every record must be a single connected span tree. Goroutine
+# hygiene after a traced drain is asserted in-process by
+# TestDrainLeavesNoTraceGoroutines in the serving gate.
+echo "==> tracing gate: validate JSONL trace export"
+go run ./scripts/tracecheck "${trace_dir}"
+rm -rf "${trace_dir}"
 trap - EXIT
 
 echo "==> all checks passed; bench results appended to ${bench_out}"

@@ -1,0 +1,142 @@
+// Command tracecheck validates a directory of exported trace JSONL files
+// (asqp-serve -trace-dir): every line must parse as a trace record, and every
+// record must be a single connected span tree — one root, every span carrying
+// the record's trace ID, and every child's parent_id equal to its parent's
+// span_id. The check.sh tracing gate runs it against a live smoke run's
+// export, so a broken exporter or a disconnected trace fails the gate.
+//
+// Usage: go run ./scripts/tracecheck <trace-dir>
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+type span struct {
+	Name     string `json:"name"`
+	TraceID  string `json:"trace_id"`
+	SpanID   string `json:"span_id"`
+	ParentID string `json:"parent_id"`
+	Children []span `json:"children"`
+}
+
+type record struct {
+	TraceID    string  `json:"trace_id"`
+	Verdict    string  `json:"verdict"`
+	DurationMS float64 `json:"duration_ms"`
+	Root       span    `json:"root"`
+}
+
+func main() {
+	if len(os.Args) != 2 {
+		fatal(fmt.Errorf("usage: tracecheck <trace-dir>"))
+	}
+	dir := os.Args[1]
+	files, err := filepath.Glob(filepath.Join(dir, "traces-*.jsonl"))
+	if err != nil {
+		fatal(err)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no traces-*.jsonl files in %s", dir))
+	}
+	sort.Strings(files)
+
+	traces, spans := 0, 0
+	verdicts := map[string]int{}
+	for _, f := range files {
+		n, s, err := checkFile(f, verdicts)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", f, err))
+		}
+		traces += n
+		spans += s
+	}
+	if traces == 0 {
+		fatal(fmt.Errorf("%d files but zero trace records in %s", len(files), dir))
+	}
+	fmt.Printf("tracecheck ok: %d traces (%d spans) across %d files; verdicts:", traces, spans, len(files))
+	for _, v := range sortedKeys(verdicts) {
+		fmt.Printf(" %s=%d", v, verdicts[v])
+	}
+	fmt.Println()
+}
+
+func checkFile(path string, verdicts map[string]int) (traces, spans int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 64<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var rec record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			return traces, spans, fmt.Errorf("line %d: not valid JSON: %w", line, err)
+		}
+		if rec.TraceID == "" || rec.Verdict == "" {
+			return traces, spans, fmt.Errorf("line %d: missing trace_id or verdict", line)
+		}
+		n, err := checkTree(rec.Root, rec.TraceID, rec.Root.SpanID, true)
+		if err != nil {
+			return traces, spans, fmt.Errorf("line %d (trace %s): %w", line, rec.TraceID, err)
+		}
+		traces++
+		spans += n
+		verdicts[rec.Verdict]++
+	}
+	return traces, spans, sc.Err()
+}
+
+// checkTree walks the span tree verifying connectivity: every span shares the
+// trace ID and each child points back at its parent. Returns the span count.
+func checkTree(s span, traceID, parentSpanID string, isRoot bool) (int, error) {
+	if s.Name == "" || s.SpanID == "" {
+		return 0, fmt.Errorf("span missing name or span_id: %+v", s)
+	}
+	if s.TraceID != traceID {
+		return 0, fmt.Errorf("span %s has trace_id %s, want %s (disconnected tree)", s.Name, s.TraceID, traceID)
+	}
+	if !isRoot && s.ParentID != parentSpanID {
+		return 0, fmt.Errorf("span %s has parent_id %s, want containing span %s", s.Name, s.ParentID, parentSpanID)
+	}
+	seen := map[string]bool{}
+	n := 1
+	for _, c := range s.Children {
+		if seen[c.SpanID] {
+			return 0, fmt.Errorf("duplicate span_id %s under %s", c.SpanID, s.Name)
+		}
+		seen[c.SpanID] = true
+		cn, err := checkTree(c, traceID, s.SpanID, false)
+		if err != nil {
+			return 0, err
+		}
+		n += cn
+	}
+	return n, nil
+}
+
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}
