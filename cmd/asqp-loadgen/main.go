@@ -47,6 +47,9 @@ type result struct {
 	Malformed  int64   `json:"malformed"`
 	ShedRate   float64 `json:"shed_rate"`
 	DegradRate float64 `json:"degraded_rate"`
+	// WithObservedError counts OK responses carrying a well-formed
+	// observed_error field (present only when the server shadow-audits).
+	WithObservedError int64 `json:"with_observed_error,omitempty"`
 }
 
 type queryList []string
@@ -65,6 +68,7 @@ func main() {
 	jsonOut := flag.String("json", "", "append the run's JSON record to this file (e.g. BENCH_<date>.json)")
 	label := flag.String("label", "LoadgenServe", "benchmark name recorded in the JSON output")
 	trace := flag.Bool("traceparent", true, "send a W3C traceparent header per request and check the server echoes the trace ID")
+	quality := flag.Bool("quality", false, "after the run, fetch /qualityz and fail unless the audit block is well-formed")
 	var queries queryList
 	flag.Var(&queries, "query", "query to fire (repeatable; defaults to an IMDB mix)")
 	flag.Parse()
@@ -119,10 +123,15 @@ func main() {
 					res.Malformed++
 				case traceparent != "" && !traceIDMatches(body, tid):
 					res.Malformed++
+				case !observedErrorWellFormed(body):
+					res.Malformed++
 				case status == http.StatusOK:
 					res.OK++
 					if bytes.Contains(body, []byte(`"degraded":true`)) {
 						res.Degraded++
+					}
+					if bytes.Contains(body, []byte(`"observed_error"`)) {
+						res.WithObservedError++
 					}
 				case status == http.StatusServiceUnavailable:
 					res.Shed++
@@ -157,8 +166,16 @@ func main() {
 	fmt.Printf("  latency: mean %.2fms  p50 %.2fms  p99 %.2fms\n", res.NsPerOp/1e6, res.P50Ms, res.P99Ms)
 	fmt.Printf("  ok %d (degraded %d), shed %d (%.1f%%), errors %d, malformed %d\n",
 		res.OK, res.Degraded, res.Shed, 100*res.ShedRate, res.Errors, res.Malformed)
+	if res.WithObservedError > 0 {
+		fmt.Printf("  observed_error present on %d responses\n", res.WithObservedError)
+	}
 	if res.Malformed > 0 {
-		fatal(fmt.Errorf("%d malformed (non-JSON) responses", res.Malformed))
+		fatal(fmt.Errorf("%d malformed responses (invalid JSON, trace mismatch, or bad observed_error)", res.Malformed))
+	}
+	if *quality {
+		if err := checkQuality(client, *url); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *jsonOut != "" {
@@ -199,6 +216,92 @@ func post(client *http.Client, url, sql string, timeoutMs int, traceparent strin
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
 	return resp.StatusCode, body, err
+}
+
+// observedErrorWellFormed checks that a response either omits observed_error
+// (no audit evidence yet, or auditing off) or carries a finite value in
+// [0, 1] — relative error is a fraction by construction, so anything else is
+// a server bug.
+func observedErrorWellFormed(body []byte) bool {
+	if !bytes.Contains(body, []byte(`"observed_error"`)) {
+		return true
+	}
+	var resp struct {
+		ObservedError *float64 `json:"observed_error"`
+	}
+	if err := json.Unmarshal(body, &resp); err != nil || resp.ObservedError == nil {
+		return false
+	}
+	v := *resp.ObservedError
+	return v >= 0 && v <= 1
+}
+
+// checkQuality fetches /qualityz and validates the audit block: counters
+// non-negative and consistent, coverage and error quantiles in [0, 1], and
+// each shape's quantiles ordered p50 ≤ p95 ≤ max. It is the e2e guard that
+// the quality surface stays well-formed under real traffic.
+func checkQuality(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/qualityz")
+	if err != nil {
+		return fmt.Errorf("/qualityz: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return fmt.Errorf("/qualityz: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/qualityz: HTTP %d", resp.StatusCode)
+	}
+	var page struct {
+		Audit struct {
+			Enabled   bool    `json:"enabled"`
+			Eligible  int64   `json:"eligible"`
+			Sampled   int64   `json:"sampled"`
+			Completed int64   `json:"completed"`
+			Failed    int64   `json:"failed"`
+			Coverage  float64 `json:"coverage"`
+			ErrorP50  float64 `json:"error_p50"`
+			ErrorP95  float64 `json:"error_p95"`
+			ErrorMax  float64 `json:"error_max"`
+		} `json:"audit"`
+		Shapes []struct {
+			Shape string  `json:"shape"`
+			Count int64   `json:"count"`
+			P50   float64 `json:"p50"`
+			P95   float64 `json:"p95"`
+			Max   float64 `json:"max"`
+		} `json:"shapes"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		return fmt.Errorf("/qualityz: bad JSON: %w", err)
+	}
+	a := page.Audit
+	if !a.Enabled {
+		return fmt.Errorf("/qualityz: auditing not enabled on the server")
+	}
+	const eps = 1e-9
+	switch {
+	case a.Eligible < 0 || a.Sampled < 0 || a.Completed < 0 || a.Failed < 0:
+		return fmt.Errorf("/qualityz: negative audit counter: %+v", a)
+	case a.Sampled > a.Eligible:
+		return fmt.Errorf("/qualityz: sampled %d > eligible %d", a.Sampled, a.Eligible)
+	case a.Coverage < 0 || a.Coverage > 1:
+		return fmt.Errorf("/qualityz: coverage %v outside [0,1]", a.Coverage)
+	case a.ErrorP50 < 0 || a.ErrorP95 > 1+eps || a.ErrorP50 > a.ErrorP95+eps || a.ErrorP95 > a.ErrorMax+eps:
+		return fmt.Errorf("/qualityz: inconsistent error quantiles p50=%v p95=%v max=%v", a.ErrorP50, a.ErrorP95, a.ErrorMax)
+	}
+	for _, sh := range page.Shapes {
+		if sh.Shape == "" || sh.Count <= 0 {
+			return fmt.Errorf("/qualityz: malformed shape entry %+v", sh)
+		}
+		if sh.P50 < 0 || sh.P50 > sh.P95+eps || sh.P95 > sh.Max+eps || sh.Max > 1+eps {
+			return fmt.Errorf("/qualityz: shape %q quantiles out of order: p50=%v p95=%v max=%v", sh.Shape, sh.P50, sh.P95, sh.Max)
+		}
+	}
+	fmt.Printf("quality: audited %d/%d eligible (coverage %.0f%%), error p50 %.3f p95 %.3f max %.3f over %d shapes\n",
+		a.Completed, a.Eligible, 100*a.Coverage, a.ErrorP50, a.ErrorP95, a.ErrorMax, len(page.Shapes))
+	return nil
 }
 
 // traceIDMatches checks that a response either omits trace_id (tracing off

@@ -9,7 +9,7 @@
 //
 //	POST /query   {"sql": "...", "timeout_ms": 500, "max_rows": 1000}
 //	GET  /query?q=SELECT...&timeout_ms=500
-//	GET  /stats, /healthz, /readyz
+//	GET  /stats, /healthz, /readyz, /qualityz
 //
 // Usage:
 //
@@ -66,6 +66,10 @@ func main() {
 	traceDir := flag.String("trace-dir", "", "export tail-sampled traces as rotated JSONL files in this directory")
 	traceSample := flag.Float64("trace-sample", 0.01, "fraction of healthy traces kept by the tail sampler (errors, degraded and slow traces are always kept)")
 	traceSlow := flag.Duration("trace-slow", 500*time.Millisecond, "latency above which a trace counts as slow and is always kept")
+	auditSample := flag.Float64("audit-sample", 0, "fraction of approx-served/degraded answers shadow-audited against the full database (0 = off)")
+	auditWorkers := flag.Int("audit-workers", 1, "low-priority audit worker pool size")
+	qualitySLO := flag.Float64("quality-slo-p95", 0, "quality SLO: audited relative error above this burns error budget and logs a warning (0 = off)")
+	driftObserve := flag.Bool("drift-observe", true, "feed served queries into the interest-drift detector")
 	flag.Parse()
 
 	if *logLevel != "" && *logLevel != "off" {
@@ -111,12 +115,20 @@ func main() {
 		BreakerTrips:    *breakerTrips,
 		BreakerCooldown: *breakerCooldown,
 		Seed:            *seed,
+		AuditSample:     *auditSample,
+		AuditWorkers:    *auditWorkers,
+		QualitySLOP95:   *qualitySLO,
+		DriftObserve:    *driftObserve,
 	})
 	bound, err := srv.Start()
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving on http://%s (/query, /healthz, /readyz, /stats); not ready until the system loads\n", bound)
+	fmt.Printf("serving on http://%s (/query, /healthz, /readyz, /stats, /qualityz); not ready until the system loads\n", bound)
+	if *auditSample > 0 {
+		fmt.Printf("shadow auditing %.0f%% of approx-served answers (workers=%d, slo-p95=%g)\n",
+			*auditSample*100, *auditWorkers, *qualitySLO)
+	}
 
 	// Drain on SIGTERM/SIGINT: stop admitting, wait for in-flight queries up
 	// to -drain-timeout, then cancel them. A second signal aborts the wait.

@@ -1,0 +1,445 @@
+// Package audit is the answer-quality observability layer of ASQP-RL: a
+// background shadow auditor that samples a fraction of the approximation-set
+// (and degraded) answers the serving layer hands out, re-executes them
+// against the full database asynchronously, and turns the comparison into
+// per-query-shape relative-error histograms with trace-ID exemplars.
+//
+// The system's value claim is bounded-error exploratory answering; the
+// auditor is what makes that claim observable on live traffic instead of a
+// training-time promise. Design constraints, in order:
+//
+//  1. Audits must never degrade user traffic. Audit workers run outside
+//     admission control entirely — they hold no execution slots and no queue
+//     tickets — and before touching the full database they consult a
+//     capacity gate supplied by the serving layer. When the gate reports no
+//     spare capacity (breaker open, in-flight load high, draining), workers
+//     back off with doubling sleeps instead of competing with users.
+//  2. The hot path pays nothing when auditing is off. Every entry point is
+//     nil-receiver safe, so a disabled auditor costs one pointer compare and
+//     zero allocations (asserted by BenchmarkAuditDisabledOverhead).
+//  3. Everything is bounded: the pending-audit queue, the per-shape stats
+//     map, and the SQL→shape index all have fixed caps with FIFO eviction
+//     and drop counters — sustained overload sheds audits, never memory.
+package audit
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asqprl/internal/engine"
+	"asqprl/internal/metrics"
+	"asqprl/internal/obs"
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+)
+
+// TargetFunc returns the current ground-truth database and frame size F.
+// Returning a nil database (system not loaded yet, or hot-swapped away)
+// skips the audit. The serving layer supplies a closure over its atomic
+// system pointer so audits always run against the live system.
+type TargetFunc func() (db *table.Database, frame int)
+
+// GateFunc reports whether there is spare capacity for one audit execution
+// right now. The serving layer's gate returns false while the circuit
+// breaker is non-closed, while in-flight load exceeds half the admission
+// slots, while requests are queued, or while draining.
+type GateFunc func() bool
+
+// Config tunes the shadow auditor. The zero value disables sampling; every
+// other field has a production-safe default filled in by normalize.
+type Config struct {
+	// SampleRate is the fraction of eligible (approximation-served or
+	// degraded) answers that are shadow-audited, in [0, 1]. Zero disables
+	// auditing.
+	SampleRate float64
+	// Workers is the number of low-priority audit executors (default 1; the
+	// auditor is a background verifier, not a throughput machine).
+	Workers int
+	// QueueDepth bounds the pending-audit queue (default 64). A full queue
+	// drops the new audit and counts it — user-facing serving is never
+	// blocked on audit capacity.
+	QueueDepth int
+	// Timeout bounds one ground-truth re-execution (default 10s).
+	Timeout time.Duration
+	// Backoff is the initial sleep when the capacity gate denies an audit;
+	// it doubles up to MaxBackoff (defaults 25ms and 1s).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+	// SLOP95 is the quality SLO: the relative error above which one audited
+	// answer burns error budget (0 disables the SLO). The name mirrors the
+	// -quality-slo-p95 flag: the target is that per-shape p95 observed error
+	// stays under it, and every single observation above it is a burn.
+	SLOP95 float64
+	// MaxShapes bounds the per-shape stats map (default 256, FIFO eviction).
+	MaxShapes int
+	// MaxSQLIndex bounds the canonical-SQL → shape index used for
+	// observed_error lookups (default 1024, FIFO eviction).
+	MaxSQLIndex int
+	// Seed drives the sampling decisions (default 1).
+	Seed int64
+}
+
+func (c Config) normalize() Config {
+	if c.SampleRate < 0 {
+		c.SampleRate = 0
+	}
+	if c.SampleRate > 1 {
+		c.SampleRate = 1
+	}
+	if c.Workers <= 0 {
+		c.Workers = 1
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 10 * time.Second
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 25 * time.Millisecond
+	}
+	if c.MaxBackoff < c.Backoff {
+		c.MaxBackoff = time.Second
+	}
+	if c.MaxShapes <= 0 {
+		c.MaxShapes = 256
+	}
+	if c.MaxSQLIndex <= 0 {
+		c.MaxSQLIndex = 1024
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Served describes one answer the serving layer handed out, as the auditor
+// needs to see it. The result table itself is read inside Consider (row
+// count, aggregate values) and not retained, so large results are never
+// pinned by the audit queue.
+type Served struct {
+	// SQL is the canonical SQL text (sqlparse.Select.String()).
+	SQL string
+	// TraceID links the audit verdict back to the original request's trace.
+	TraceID obs.TraceID
+	// Source is "approximation" or "full" (the /query response's source).
+	Source string
+	// Degraded and Reason mirror the response's degradation tagging.
+	Degraded bool
+	Reason   string
+}
+
+// job is one queued shadow audit.
+type job struct {
+	stmt   *sqlparse.Select
+	served Served
+	rows   int                // served row count
+	values map[string]float64 // served aggregate values (nil for SPJ)
+	isAgg  bool
+}
+
+// Auditor owns the background shadow-audit pipeline. Create with New, feed
+// it with Consider from the serving path, read it via Summary / ShapeReport /
+// ObservedError, and Close it during drain. A nil *Auditor is a valid
+// disabled auditor: every method is a cheap no-op.
+type Auditor struct {
+	cfg    Config
+	target TargetFunc
+	gate   GateFunc
+
+	jobs   chan job
+	stop   chan struct{}
+	ctx    context.Context // canceled at Close so in-flight audits abort
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	closed atomic.Bool
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mu       sync.Mutex
+	shapes   map[string]*shapeStats
+	order    []string // shape insertion order, for FIFO eviction
+	sqlShape map[string]*shapeStats
+	sqlOrder []string
+
+	eligible  atomic.Int64 // answers that could have been audited
+	sampled   atomic.Int64 // answers chosen for audit
+	dropped   atomic.Int64 // sampled but queue full
+	completed atomic.Int64
+	failed    atomic.Int64 // ground truth could not be computed
+	deferrals atomic.Int64 // capacity-gate backoff sleeps
+	sloBurn   atomic.Int64 // audits whose error exceeded SLOP95
+
+	lastWarn atomic.Int64 // unix nanos of the last SLO-burn warning
+}
+
+// New builds and starts an auditor. target supplies the live full database
+// and frame size; gate (optional) supplies the spare-capacity signal. The
+// worker pool starts immediately; with SampleRate 0 New returns nil — the
+// disabled auditor — so callers can gate construction on a single flag.
+func New(target TargetFunc, gate GateFunc, cfg Config) *Auditor {
+	cfg = cfg.normalize()
+	if cfg.SampleRate == 0 || target == nil {
+		return nil
+	}
+	a := &Auditor{
+		cfg:      cfg,
+		target:   target,
+		gate:     gate,
+		jobs:     make(chan job, cfg.QueueDepth),
+		stop:     make(chan struct{}),
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		shapes:   map[string]*shapeStats{},
+		sqlShape: map[string]*shapeStats{},
+	}
+	a.ctx, a.cancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		a.wg.Add(1)
+		go a.worker()
+	}
+	return a
+}
+
+// Enabled reports whether the auditor is sampling (false for nil).
+func (a *Auditor) Enabled() bool { return a != nil }
+
+// Consider offers one served answer for shadow auditing. Only
+// approximation-served or degraded answers are eligible — a full-database
+// non-degraded answer is exact by construction. Eligible answers are sampled
+// at the configured rate; sampled ones are enqueued for asynchronous
+// verification (the caller's latency is one channel send). It returns true
+// when the answer was enqueued. Nil-safe and allocation-free when disabled.
+func (a *Auditor) Consider(stmt *sqlparse.Select, sv Served, result *table.Table) bool {
+	if a == nil || a.closed.Load() {
+		return false
+	}
+	if sv.Source != "approximation" && !sv.Degraded {
+		return false
+	}
+	a.eligible.Add(1)
+	a.rngMu.Lock()
+	keep := a.rng.Float64() < a.cfg.SampleRate
+	a.rngMu.Unlock()
+	if !keep {
+		return false
+	}
+	a.sampled.Add(1)
+	j := job{stmt: stmt, served: sv}
+	if sv.SQL == "" {
+		j.served.SQL = stmt.String()
+	}
+	if result != nil {
+		j.rows = result.NumRows()
+	}
+	if stmt.HasAggregates() {
+		j.isAgg = true
+		j.values = aggValues(stmt, result)
+	}
+	select {
+	case a.jobs <- j:
+		if obs.Enabled() {
+			obs.Default().Counter("asqp/audit/sampled").Inc()
+		}
+		return true
+	default:
+		a.dropped.Add(1)
+		if obs.Enabled() {
+			obs.Default().Counter("asqp/audit/dropped").Inc()
+		}
+		return false
+	}
+}
+
+// Close stops accepting new audits, aborts in-flight ground-truth
+// executions via context cancellation, and waits for every worker to exit.
+// Pending queued audits are discarded (counted as dropped). Close is
+// idempotent and nil-safe.
+func (a *Auditor) Close() {
+	if a == nil || a.closed.Swap(true) {
+		return
+	}
+	a.cancel()
+	close(a.stop)
+	a.wg.Wait()
+	// Count the audits that were queued but never ran.
+	for {
+		select {
+		case <-a.jobs:
+			a.dropped.Add(1)
+		default:
+			return
+		}
+	}
+}
+
+// worker is one low-priority audit executor.
+func (a *Auditor) worker() {
+	defer a.wg.Done()
+	for {
+		select {
+		case <-a.stop:
+			return
+		case j := <-a.jobs:
+			if !a.waitCapacity() {
+				a.dropped.Add(1)
+				return
+			}
+			a.run(j)
+		}
+	}
+}
+
+// waitCapacity blocks until the capacity gate reports spare headroom,
+// sleeping with doubling backoff between polls. It returns false when the
+// auditor is closing — the audit is abandoned, never forced through.
+func (a *Auditor) waitCapacity() bool {
+	if a.gate == nil {
+		return true
+	}
+	wait := a.cfg.Backoff
+	for {
+		if a.gate() {
+			return true
+		}
+		a.deferrals.Add(1)
+		if obs.Enabled() {
+			obs.Default().Counter("asqp/audit/deferred").Inc()
+		}
+		select {
+		case <-a.stop:
+			return false
+		case <-time.After(wait):
+		}
+		if wait *= 2; wait > a.cfg.MaxBackoff {
+			wait = a.cfg.MaxBackoff
+		}
+	}
+}
+
+// run executes one shadow audit: re-run the query against the full database
+// under a deadline, compute the relative error of the served answer, and
+// publish the verdict everywhere the spine surfaces (shape histograms, the
+// asqp_audit_relative_error exemplar histogram, the original trace, logs).
+func (a *Auditor) run(j job) {
+	db, frame := a.target()
+	if db == nil {
+		a.failed.Add(1)
+		return
+	}
+	// The audit runs under its own root span so the verification work is
+	// itself traceable; audited_trace_id links it to the user's request.
+	ctx, span := obs.StartSpan(a.ctx, "audit/shadow")
+	defer span.End()
+	span.Annotate("sql", j.served.SQL)
+	span.Annotate("audited_trace_id", j.served.TraceID.String())
+	ctx, cancel := context.WithTimeout(ctx, a.cfg.Timeout)
+	defer cancel()
+
+	shape, err := engine.PlanShape(db, j.stmt)
+	if err != nil {
+		shape = "unbound"
+	}
+	relErr, truthRows, err := a.groundTruth(ctx, db, frame, j)
+	if err != nil {
+		a.failed.Add(1)
+		span.MarkError(err.Error())
+		if obs.Enabled() {
+			obs.Default().Counter("asqp/audit/failed").Inc()
+		}
+		obs.LoggerCtx(ctx).Warn("shadow audit failed",
+			"sql", j.served.SQL, "audited_trace_id", j.served.TraceID.String(), "err", err)
+		return
+	}
+	a.completed.Add(1)
+	a.record(j, shape, relErr)
+	span.Annotate("relative_error", relErr)
+	span.Annotate("shape", shape)
+	span.Event("verdict", "relative_error", relErr, "truth_rows", truthRows, "served_rows", j.rows)
+
+	burned := a.cfg.SLOP95 > 0 && relErr > a.cfg.SLOP95
+	if burned {
+		a.sloBurn.Add(1)
+		if obs.Enabled() {
+			obs.Default().Counter("asqp/audit/slo_burn").Inc()
+		}
+		a.warnBurn(j, shape, relErr)
+	}
+	if obs.Enabled() {
+		obs.Default().Counter("asqp/audit/completed").Inc()
+		obs.Default().Histogram("asqp/audit/relative_error").ObserveExemplar(relErr, j.served.TraceID)
+	}
+	// Attach the verdict to the original request's trace so /tracez shows
+	// "this degraded answer was later measured at error X". The amendment is
+	// best-effort: only tail-kept traces are still addressable, and the JSONL
+	// export (written at span end) is not rewritten — offline joins use the
+	// audit span's audited_trace_id instead.
+	obs.AmendTrace(j.served.TraceID.String(), obs.SpanEvent{
+		Name: "audit",
+		At:   time.Now(),
+		Attrs: map[string]any{
+			"relative_error": relErr,
+			"shape":          shape,
+			"slo_burn":       burned,
+		},
+	})
+}
+
+// groundTruth re-executes the audited statement against the full database
+// and returns the served answer's relative error. Aggregates compare value
+// maps (Equation 2, per group); SPJ queries compare result cardinality
+// against the frame-capped truth (Equation 1 coverage turned into an error).
+func (a *Auditor) groundTruth(ctx context.Context, db *table.Database, frame int, j job) (relErr float64, truthRows int, err error) {
+	if j.isAgg {
+		res, err := engine.ExecuteWithContext(ctx, db, j.stmt, engine.Options{})
+		if err != nil {
+			return 0, 0, fmt.Errorf("audit: ground truth: %w", err)
+		}
+		truth := aggValues(j.stmt, res.Table)
+		return metrics.GroupRelativeError(j.values, truth), res.Table.NumRows(), nil
+	}
+	n, err := engine.CountContext(ctx, db, j.stmt, engine.Options{})
+	if err != nil {
+		return 0, 0, fmt.Errorf("audit: ground truth: %w", err)
+	}
+	return metrics.CoverageError(j.rows, n, frame), n, nil
+}
+
+// warnBurn logs an SLO-burn warning, rate-limited to one per second so a
+// sick shape cannot flood the logs.
+func (a *Auditor) warnBurn(j job, shape string, relErr float64) {
+	now := time.Now().UnixNano()
+	last := a.lastWarn.Load()
+	if now-last < int64(time.Second) || !a.lastWarn.CompareAndSwap(last, now) {
+		return
+	}
+	obs.Logger().Warn("quality SLO burn",
+		"relative_error", relErr, "slo_p95", a.cfg.SLOP95, "shape", shape,
+		"sql", j.served.SQL, "trace_id", j.served.TraceID.String(),
+		"degraded", j.served.Degraded, "reason", j.served.Reason)
+}
+
+// aggValues converts an executed aggregate result into group → value, the
+// same convention as core.AggregateResult (group key is the first column's
+// Value.String(); "" for global aggregates; first aggregate value only).
+func aggValues(stmt *sqlparse.Select, t *table.Table) map[string]float64 {
+	out := map[string]float64{}
+	if t == nil {
+		return out
+	}
+	grouped := len(stmt.GroupBy) > 0
+	for _, r := range t.Rows {
+		if grouped {
+			if len(r) >= 2 {
+				out[r[0].String()] = r[1].AsFloat()
+			}
+		} else if len(r) >= 1 {
+			out[""] = r[0].AsFloat()
+		}
+	}
+	return out
+}

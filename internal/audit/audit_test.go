@@ -1,0 +1,376 @@
+package audit
+
+import (
+	"math"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"asqprl/internal/obs"
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+)
+
+// testDB builds a tiny movie database — the auditor's "full database" —
+// without any training, so unit tests run in milliseconds.
+func testDB() *table.Database {
+	movies := table.New("movies", table.Schema{
+		{Name: "id", Kind: table.KindInt},
+		{Name: "title", Kind: table.KindString},
+		{Name: "rating", Kind: table.KindFloat},
+		{Name: "genre", Kind: table.KindString},
+	})
+	rows := []struct {
+		id     int64
+		title  string
+		rating float64
+		genre  string
+	}{
+		{1, "Alpha", 8.1, "drama"},
+		{2, "Beta", 6.4, "comedy"},
+		{3, "Gamma", 7.7, "drama"},
+		{4, "Delta", 5.2, "action"},
+		{5, "Epsilon", 9.0, "drama"},
+	}
+	for _, r := range rows {
+		movies.AppendRow(table.Row{
+			table.NewInt(r.id), table.NewString(r.title),
+			table.NewFloat(r.rating), table.NewString(r.genre),
+		})
+	}
+	db := table.NewDatabase()
+	db.Add(movies)
+	return db
+}
+
+func mustParse(t *testing.T, sql string) *sqlparse.Select {
+	t.Helper()
+	stmt, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return stmt
+}
+
+// servedRows builds a result table with n placeholder rows — for SPJ audits
+// only the cardinality matters.
+func servedRows(n int) *table.Table {
+	tb := table.New("served", table.Schema{{Name: "x", Kind: table.KindInt}})
+	for i := 0; i < n; i++ {
+		tb.AppendRow(table.Row{table.NewInt(int64(i))})
+	}
+	return tb
+}
+
+// newTestAuditor builds an auditor over testDB with frame F and sample rate 1.
+func newTestAuditor(t *testing.T, frame int, mut func(*Config)) *Auditor {
+	t.Helper()
+	cfg := Config{SampleRate: 1, Timeout: 5 * time.Second}
+	if mut != nil {
+		mut(&cfg)
+	}
+	db := testDB()
+	a := New(func() (*table.Database, int) { return db, frame }, nil, cfg)
+	if a == nil {
+		t.Fatal("New returned nil with a positive sample rate")
+	}
+	t.Cleanup(a.Close)
+	return a
+}
+
+// waitCompleted polls until the auditor has completed (or failed) n audits.
+func waitCompleted(t *testing.T, a *Auditor, n int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if a.completed.Load()+a.failed.Load() >= n {
+			return
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("audits did not complete: completed=%d failed=%d want %d",
+		a.completed.Load(), a.failed.Load(), n)
+}
+
+// TestAuditSPJCoverageError: an approximation-served SPJ answer with 2 of the
+// 3 true rows must audit to relative error 1/3, visible through every read
+// surface (Stats, ObservedError, Page).
+func TestAuditSPJCoverageError(t *testing.T) {
+	a := newTestAuditor(t, 25, nil)
+	stmt := mustParse(t, "SELECT title FROM movies WHERE rating > 7")
+	sv := Served{SQL: stmt.String(), Source: "approximation"}
+	if !a.Consider(stmt, sv, servedRows(2)) {
+		t.Fatal("eligible answer was not enqueued at sample rate 1")
+	}
+	waitCompleted(t, a, 1)
+
+	s := a.Stats()
+	if s.Completed != 1 || s.Failed != 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+	want := 1.0 / 3.0
+	if math.Abs(s.ErrorMax-want) > 1e-9 {
+		t.Errorf("ErrorMax = %v, want %v", s.ErrorMax, want)
+	}
+	if s.Coverage != 1 {
+		t.Errorf("coverage = %v, want 1 (1 eligible, 1 completed)", s.Coverage)
+	}
+
+	oe, ok := a.ObservedError(sv.SQL)
+	if !ok {
+		t.Fatal("ObservedError has no evidence after a completed audit")
+	}
+	// p95 of a single observation must sit in the observation's bucket; the
+	// histogram clamps interpolation to the observed extrema.
+	if math.Abs(oe-want) > 1e-9 {
+		t.Errorf("ObservedError = %v, want %v", oe, want)
+	}
+
+	page := a.Page(nil)
+	if len(page.Shapes) != 1 {
+		t.Fatalf("page shapes = %d, want 1", len(page.Shapes))
+	}
+	sh := page.Shapes[0]
+	if sh.Count != 1 || math.Abs(sh.Max-want) > 1e-9 {
+		t.Errorf("shape report: %+v", sh)
+	}
+	if sh.WorstSQL != sv.SQL {
+		t.Errorf("worst SQL %q, want %q", sh.WorstSQL, sv.SQL)
+	}
+}
+
+// TestAuditExactAnswerZeroError: serving all true rows audits to error 0 —
+// and the zero still shows up as evidence (ObservedError ok=true).
+func TestAuditExactAnswerZeroError(t *testing.T) {
+	a := newTestAuditor(t, 25, nil)
+	stmt := mustParse(t, "SELECT title FROM movies WHERE rating > 7")
+	sv := Served{SQL: stmt.String(), Source: "approximation"}
+	a.Consider(stmt, sv, servedRows(3))
+	waitCompleted(t, a, 1)
+	oe, ok := a.ObservedError(sv.SQL)
+	if !ok || oe != 0 {
+		t.Errorf("ObservedError = (%v, %v), want (0, true)", oe, ok)
+	}
+}
+
+// TestAuditAggregateGroupError: a grouped aggregate served with one wrong
+// group value and one missing group must audit to the mean per-group
+// relative error of Equation 2.
+func TestAuditAggregateGroupError(t *testing.T) {
+	a := newTestAuditor(t, 25, nil)
+	stmt := mustParse(t, "SELECT genre, COUNT(*) FROM movies GROUP BY genre")
+	// Truth: drama 3, comedy 1, action 1. Served: drama 2 (error 1/3),
+	// comedy 1 (exact), action missing (error 1) → mean 4/9.
+	served := table.New("served", table.Schema{
+		{Name: "genre", Kind: table.KindString},
+		{Name: "count", Kind: table.KindInt},
+	})
+	served.AppendRow(table.Row{table.NewString("drama"), table.NewInt(2)})
+	served.AppendRow(table.Row{table.NewString("comedy"), table.NewInt(1)})
+	sv := Served{SQL: stmt.String(), Source: "approximation"}
+	a.Consider(stmt, sv, served)
+	waitCompleted(t, a, 1)
+
+	want := 4.0 / 9.0
+	if got := a.Stats().ErrorMax; math.Abs(got-want) > 1e-9 {
+		t.Errorf("aggregate relative error = %v, want %v", got, want)
+	}
+}
+
+// TestAuditEligibility: full-database non-degraded answers are exact by
+// construction and never audited; degraded full answers are.
+func TestAuditEligibility(t *testing.T) {
+	a := newTestAuditor(t, 25, nil)
+	stmt := mustParse(t, "SELECT title FROM movies WHERE rating > 7")
+	if a.Consider(stmt, Served{SQL: stmt.String(), Source: "full"}, servedRows(3)) {
+		t.Error("exact full-database answer was enqueued for audit")
+	}
+	if a.eligible.Load() != 0 {
+		t.Error("exact answer counted as eligible")
+	}
+	if !a.Consider(stmt, Served{SQL: stmt.String(), Source: "full", Degraded: true, Reason: "rows"}, servedRows(1)) {
+		t.Error("degraded full answer was not enqueued")
+	}
+}
+
+// TestAuditSampleRateZeroDisables: New must return the nil (disabled)
+// auditor, whose every method is a safe no-op.
+func TestAuditSampleRateZeroDisables(t *testing.T) {
+	db := testDB()
+	a := New(func() (*table.Database, int) { return db, 25 }, nil, Config{SampleRate: 0})
+	if a != nil {
+		t.Fatal("New with SampleRate 0 should return nil")
+	}
+	if a.Enabled() {
+		t.Error("nil auditor reports enabled")
+	}
+	stmt := mustParse(t, "SELECT title FROM movies WHERE rating > 7")
+	if a.Consider(stmt, Served{Source: "approximation"}, servedRows(1)) {
+		t.Error("nil auditor enqueued an audit")
+	}
+	if _, ok := a.ObservedError("x"); ok {
+		t.Error("nil auditor has observed error")
+	}
+	if s := a.Stats(); s.Enabled {
+		t.Errorf("nil auditor stats: %+v", s)
+	}
+	a.Close() // must not panic
+}
+
+// TestAuditQueueBoundsAndDrop: with the worker pool wedged behind a denying
+// gate, offers beyond QueueDepth are dropped (counted), never blocked on.
+func TestAuditQueueBoundsAndDrop(t *testing.T) {
+	var allow atomic.Bool
+	db := testDB()
+	a := New(
+		func() (*table.Database, int) { return db, 25 },
+		func() bool { return allow.Load() },
+		Config{SampleRate: 1, QueueDepth: 2, Workers: 1, Backoff: time.Millisecond},
+	)
+	t.Cleanup(a.Close)
+	stmt := mustParse(t, "SELECT title FROM movies WHERE rating > 7")
+	sv := Served{SQL: stmt.String(), Source: "approximation"}
+
+	// The worker pulls one job and parks at the gate; 2 more fill the queue.
+	// Everything beyond that must drop immediately.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.dropped.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no drops despite a full queue")
+		}
+		done := make(chan bool, 1)
+		go func() { done <- a.Consider(stmt, sv, servedRows(1)) }()
+		select {
+		case <-done:
+		case <-time.After(time.Second):
+			t.Fatal("Consider blocked on a full audit queue")
+		}
+	}
+	for a.deferrals.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("gate denial recorded no deferrals")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Open the gate: the queued audits complete, the dropped ones stay lost.
+	allow.Store(true)
+	waitCompleted(t, a, a.sampled.Load()-a.dropped.Load())
+	if got := a.completed.Load() + a.dropped.Load(); got != a.sampled.Load() {
+		t.Errorf("completed %d + dropped %d != sampled %d",
+			a.completed.Load(), a.dropped.Load(), a.sampled.Load())
+	}
+}
+
+// TestAuditCloseDrainsWorkers: Close must stop every worker — including ones
+// parked in gate backoff — and leave no goroutines behind.
+func TestAuditCloseDrainsWorkers(t *testing.T) {
+	before := runtime.NumGoroutine()
+	db := testDB()
+	a := New(
+		func() (*table.Database, int) { return db, 25 },
+		func() bool { return false }, // gate never opens
+		Config{SampleRate: 1, Workers: 4, Backoff: time.Millisecond},
+	)
+	stmt := mustParse(t, "SELECT title FROM movies WHERE rating > 7")
+	sv := Served{SQL: stmt.String(), Source: "approximation"}
+	for i := 0; i < 8; i++ {
+		a.Consider(stmt, sv, servedRows(1))
+	}
+	done := make(chan struct{})
+	go func() { a.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Close did not drain the worker pool")
+	}
+	if a.Consider(stmt, sv, servedRows(1)) {
+		t.Error("closed auditor accepted an audit")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines after Close: %d, want ≤ %d", after, before)
+	}
+}
+
+// TestAuditSLOBurn: audited errors above the quality SLO must burn budget.
+func TestAuditSLOBurn(t *testing.T) {
+	a := newTestAuditor(t, 25, func(c *Config) { c.SLOP95 = 0.1 })
+	stmt := mustParse(t, "SELECT title FROM movies WHERE rating > 7")
+	sv := Served{SQL: stmt.String(), Source: "approximation", Degraded: true, Reason: "rows"}
+	a.Consider(stmt, sv, servedRows(1)) // error 2/3 > 0.1 → burn
+	waitCompleted(t, a, 1)
+	if got := a.Stats().SLOBurn; got != 1 {
+		t.Errorf("SLO burn counter = %d, want 1", got)
+	}
+	// An exact answer must not burn.
+	a.Consider(stmt, Served{SQL: sv.SQL, Source: "approximation"}, servedRows(3))
+	waitCompleted(t, a, 2)
+	if got := a.Stats().SLOBurn; got != 1 {
+		t.Errorf("SLO burn counter after exact answer = %d, want 1", got)
+	}
+}
+
+// TestAuditWorstOffenderOrdering: /qualityz shapes must sort worst p95
+// first, with per-shape worst offenders retained.
+func TestAuditWorstOffenderOrdering(t *testing.T) {
+	a := newTestAuditor(t, 25, nil)
+	// Shape A: scan with filter, error 2/3. Shape B: aggregate, error 0.
+	bad := mustParse(t, "SELECT title FROM movies WHERE rating > 7")
+	a.Consider(bad, Served{SQL: bad.String(), Source: "approximation"}, servedRows(1))
+	good := mustParse(t, "SELECT COUNT(*) FROM movies")
+	exact := table.New("served", table.Schema{{Name: "count", Kind: table.KindInt}})
+	exact.AppendRow(table.Row{table.NewInt(5)})
+	a.Consider(good, Served{SQL: good.String(), Source: "approximation"}, exact)
+	waitCompleted(t, a, 2)
+
+	page := a.Page(&DriftStatus{Enabled: true, Drifted: 3, Threshold: 10})
+	if len(page.Shapes) != 2 {
+		t.Fatalf("shapes = %d, want 2", len(page.Shapes))
+	}
+	if page.Shapes[0].P95 < page.Shapes[1].P95 {
+		t.Errorf("shapes not sorted worst-first: %v then %v", page.Shapes[0].P95, page.Shapes[1].P95)
+	}
+	if page.Shapes[0].WorstSQL != bad.String() {
+		t.Errorf("worst offender SQL %q, want %q", page.Shapes[0].WorstSQL, bad.String())
+	}
+	if page.Drift == nil || page.Drift.Drifted != 3 {
+		t.Errorf("drift block not carried through: %+v", page.Drift)
+	}
+}
+
+// TestAuditDisabledZeroAlloc is the zero-overhead guard: a disabled (nil)
+// auditor must add zero allocations to the serving hot path — the same
+// contract as TestDisabledTracingZeroAlloc in internal/obs.
+func TestAuditDisabledZeroAlloc(t *testing.T) {
+	var a *Auditor
+	stmt := mustParse(t, "SELECT title FROM movies WHERE rating > 7")
+	rows := servedRows(2)
+	allocs := testing.AllocsPerRun(1000, func() {
+		a.Consider(stmt, Served{Source: "approximation", TraceID: obs.TraceID{}}, rows)
+		a.ObservedError("SELECT title FROM movies WHERE rating > 7")
+	})
+	if allocs != 0 {
+		t.Errorf("disabled auditor allocates %.1f per op on the hot path, want 0", allocs)
+	}
+}
+
+// BenchmarkAuditDisabledOverhead records the disabled-path cost in the bench
+// history (expected: ~1ns and 0 allocs/op).
+func BenchmarkAuditDisabledOverhead(b *testing.B) {
+	var a *Auditor
+	stmt, err := sqlparse.Parse("SELECT title FROM movies WHERE rating > 7")
+	if err != nil {
+		b.Fatal(err)
+	}
+	rows := servedRows(2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Consider(stmt, Served{Source: "approximation"}, rows)
+	}
+}

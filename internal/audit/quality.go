@@ -1,0 +1,226 @@
+package audit
+
+import (
+	"sort"
+	"time"
+
+	"asqprl/internal/obs"
+)
+
+// shapeStats aggregates audit verdicts for one query shape. A shape is the
+// pair (plan skeleton, aggregate-ness) produced by engine.PlanShape — coarse
+// enough that repeated exploratory variations of one query pattern pool
+// their error evidence, fine enough that a sick join pattern does not hide
+// behind healthy point lookups.
+type shapeStats struct {
+	shape string
+	hist  *obs.Histogram
+
+	// worst offender for this shape, updated under Auditor.mu.
+	worstErr   float64
+	worstTrace string
+	worstSQL   string
+	lastSQL    string
+	lastAt     time.Time
+	degraded   int64
+}
+
+// record folds one audit verdict into the per-shape aggregation and the
+// canonical-SQL index used by ObservedError. Both maps are bounded with FIFO
+// eviction; evictions only forget history, never block.
+func (a *Auditor) record(j job, shape string, relErr float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	st := a.shapes[shape]
+	if st == nil {
+		if len(a.order) >= a.cfg.MaxShapes {
+			oldest := a.order[0]
+			a.order = a.order[1:]
+			delete(a.shapes, oldest)
+		}
+		st = &shapeStats{shape: shape, hist: obs.NewHistogram()}
+		a.shapes[shape] = st
+		a.order = append(a.order, shape)
+	}
+	st.hist.ObserveExemplar(relErr, j.served.TraceID)
+	st.lastSQL = j.served.SQL
+	st.lastAt = time.Now()
+	if j.served.Degraded {
+		st.degraded++
+	}
+	if relErr >= st.worstErr && (relErr > st.worstErr || st.worstTrace == "") {
+		st.worstErr = relErr
+		st.worstTrace = j.served.TraceID.String()
+		st.worstSQL = j.served.SQL
+	}
+	if a.sqlShape[j.served.SQL] == nil {
+		if len(a.sqlOrder) >= a.cfg.MaxSQLIndex {
+			oldest := a.sqlOrder[0]
+			a.sqlOrder = a.sqlOrder[1:]
+			delete(a.sqlShape, oldest)
+		}
+		a.sqlOrder = append(a.sqlOrder, j.served.SQL)
+	}
+	a.sqlShape[j.served.SQL] = st
+}
+
+// ObservedError returns the historical p95 relative error observed for the
+// shape of the query with the given canonical SQL, and whether any audit
+// evidence exists for it. It backs the optional observed_error field on
+// /query responses: "answers shaped like yours have measured error ≤ X 95%
+// of the time". Nil-safe; a disabled auditor has no evidence.
+func (a *Auditor) ObservedError(canonicalSQL string) (float64, bool) {
+	if a == nil {
+		return 0, false
+	}
+	a.mu.Lock()
+	st := a.sqlShape[canonicalSQL]
+	a.mu.Unlock()
+	if st == nil || st.hist.Count() == 0 {
+		return 0, false
+	}
+	return st.hist.Quantile(0.95), true
+}
+
+// Summary is the compact audit rollup embedded as the "quality" block of
+// /stats.
+type Summary struct {
+	Enabled    bool    `json:"enabled"`
+	SampleRate float64 `json:"sample_rate"`
+	SLOP95     float64 `json:"slo_p95,omitempty"`
+	Eligible   int64   `json:"eligible"`
+	Sampled    int64   `json:"sampled"`
+	Completed  int64   `json:"completed"`
+	Failed     int64   `json:"failed"`
+	Dropped    int64   `json:"dropped"`
+	Deferred   int64   `json:"deferred"`
+	SLOBurn    int64   `json:"slo_burn"`
+	// Coverage is completed / eligible — the fraction of eligible answers
+	// whose error has actually been measured.
+	Coverage float64 `json:"coverage"`
+	// ErrorP50/P95/Max summarize relative error across ALL completed audits.
+	ErrorP50 float64 `json:"error_p50"`
+	ErrorP95 float64 `json:"error_p95"`
+	ErrorMax float64 `json:"error_max"`
+	Shapes   int     `json:"shapes"`
+}
+
+// Stats returns the audit rollup. Nil-safe: a disabled auditor reports
+// Enabled false and zeros.
+func (a *Auditor) Stats() Summary {
+	if a == nil {
+		return Summary{}
+	}
+	s := Summary{
+		Enabled:    true,
+		SampleRate: a.cfg.SampleRate,
+		SLOP95:     a.cfg.SLOP95,
+		Eligible:   a.eligible.Load(),
+		Sampled:    a.sampled.Load(),
+		Completed:  a.completed.Load(),
+		Failed:     a.failed.Load(),
+		Dropped:    a.dropped.Load(),
+		Deferred:   a.deferrals.Load(),
+		SLOBurn:    a.sloBurn.Load(),
+	}
+	if s.Eligible > 0 {
+		s.Coverage = float64(s.Completed) / float64(s.Eligible)
+	}
+	// Global quantiles come from the pooled registry histogram when
+	// observability is on; the per-shape max is tracked either way.
+	a.mu.Lock()
+	s.Shapes = len(a.shapes)
+	for _, st := range a.shapes {
+		if m := st.hist.Max(); m > s.ErrorMax {
+			s.ErrorMax = m
+		}
+	}
+	a.mu.Unlock()
+	if obs.Enabled() {
+		h := obs.Default().Histogram("asqp/audit/relative_error")
+		if h.Count() > 0 {
+			s.ErrorP50 = h.Quantile(0.50)
+			s.ErrorP95 = h.Quantile(0.95)
+			s.ErrorMax = h.Max()
+		}
+	}
+	return s
+}
+
+// ShapeReport is one query shape's observed-error profile in /qualityz,
+// including its worst offender with the trace ID to jump to in /tracez.
+type ShapeReport struct {
+	Shape      string    `json:"shape"`
+	Count      int64     `json:"count"`
+	Degraded   int64     `json:"degraded"`
+	P50        float64   `json:"p50"`
+	P95        float64   `json:"p95"`
+	Max        float64   `json:"max"`
+	WorstErr   float64   `json:"worst_error"`
+	WorstTrace string    `json:"worst_trace_id,omitempty"`
+	WorstSQL   string    `json:"worst_sql,omitempty"`
+	LastSQL    string    `json:"last_sql,omitempty"`
+	LastAt     time.Time `json:"last_at"`
+	// BurningSLO marks shapes whose p95 exceeds the configured quality SLO.
+	BurningSLO bool `json:"burning_slo,omitempty"`
+}
+
+// DriftStatus is the drift-detector view composed into QualityPage by the
+// serving layer (the auditor itself does not depend on core).
+type DriftStatus struct {
+	Enabled bool `json:"enabled"`
+	// Drifted is the number of deviating queries accumulated since the last
+	// fine-tune; Threshold is the count that triggers fine-tuning.
+	Drifted   int  `json:"drifted"`
+	Threshold int  `json:"threshold"`
+	Triggered bool `json:"triggered"`
+}
+
+// QualityPage is the full /qualityz payload: the audit rollup, every shape
+// sorted worst-p95 first (so the top of the list IS the worst-offenders
+// list), and the drift status.
+type QualityPage struct {
+	Audit  Summary       `json:"audit"`
+	Shapes []ShapeReport `json:"shapes,omitempty"`
+	Drift  *DriftStatus  `json:"drift,omitempty"`
+}
+
+// Page renders the /qualityz payload. drift may be nil (no system loaded or
+// drift observation off). Nil-safe: a disabled auditor renders an empty page
+// with Audit.Enabled false, so the endpoint is always mounted.
+func (a *Auditor) Page(drift *DriftStatus) QualityPage {
+	p := QualityPage{Audit: a.Stats(), Drift: drift}
+	if a == nil {
+		return p
+	}
+	a.mu.Lock()
+	shapes := make([]*shapeStats, 0, len(a.shapes))
+	for _, st := range a.shapes {
+		shapes = append(shapes, st)
+	}
+	for _, st := range shapes {
+		r := ShapeReport{
+			Shape:      st.shape,
+			Count:      st.hist.Count(),
+			Degraded:   st.degraded,
+			P50:        st.hist.Quantile(0.50),
+			P95:        st.hist.Quantile(0.95),
+			Max:        st.hist.Max(),
+			WorstErr:   st.worstErr,
+			WorstTrace: st.worstTrace,
+			WorstSQL:   st.worstSQL,
+			LastSQL:    st.lastSQL,
+			LastAt:     st.lastAt,
+		}
+		r.BurningSLO = a.cfg.SLOP95 > 0 && r.P95 > a.cfg.SLOP95
+		p.Shapes = append(p.Shapes, r)
+	}
+	a.mu.Unlock()
+	sort.Slice(p.Shapes, func(i, j int) bool {
+		if p.Shapes[i].P95 != p.Shapes[j].P95 {
+			return p.Shapes[i].P95 > p.Shapes[j].P95
+		}
+		return p.Shapes[i].Shape < p.Shapes[j].Shape
+	})
+	return p
+}

@@ -139,6 +139,23 @@ func (d *DriftDetector) Drifted() []*sqlparse.Select {
 	return append([]*sqlparse.Select(nil), d.drifted...)
 }
 
+// DriftedCount returns how many deviating queries have accumulated since the
+// last reset, without copying them. Serving layers expose it in /stats and
+// /qualityz.
+func (d *DriftDetector) DriftedCount() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.drifted)
+}
+
+// Triggered reports whether the accumulated drifted queries have reached the
+// fine-tuning threshold.
+func (d *DriftDetector) Triggered() bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.drifted) >= d.Count
+}
+
 // ResetDrift clears the accumulated queries (called after fine-tuning).
 func (d *DriftDetector) ResetDrift() {
 	d.mu.Lock()

@@ -228,6 +228,13 @@ func (s *System) Stats() Stats { return s.stats }
 // Estimator exposes the answerability estimator.
 func (s *System) Estimator() *Estimator { return s.est }
 
+// DB returns the full database 𝒯. Shadow auditors use it as the ground
+// truth for verifying approximation-set answers.
+func (s *System) DB() *table.Database { return s.db }
+
+// Drift exposes the interest-drift detector (Section 4.4).
+func (s *System) Drift() *DriftDetector { return s.drift }
+
 // BuildSet re-runs inference (Algorithm 2) for a different requested size
 // without retraining, replacing the system's approximation set.
 func (s *System) BuildSet(reqSize int) (*table.Subset, error) {
@@ -297,6 +304,11 @@ type QueryOptions struct {
 	// layers set it while their circuit breaker is open, so a sick full
 	// database is never hit with more doomed work.
 	SkipFull bool
+	// SkipDrift keeps this query out of the drift detector. Serving layers
+	// set it when live-traffic drift observation is disabled by operator
+	// flag, so synthetic traffic (health probes, load tests) cannot poison
+	// the fine-tuning signal.
+	SkipDrift bool
 }
 
 func (o QueryOptions) normalize() QueryOptions {
@@ -372,7 +384,9 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 	}
 	pred, conf := s.est.Estimate(estStmt)
 	out := &QueryResult{PredictedScore: pred, Confidence: conf}
-	out.DriftTriggered = s.drift.Observe(estStmt, conf)
+	if !opts.SkipDrift {
+		out.DriftTriggered = s.drift.Observe(estStmt, conf)
+	}
 
 	eopts := engine.Options{
 		MaxOutputRows:       opts.MaxRows,

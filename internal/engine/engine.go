@@ -68,7 +68,15 @@ func ExecuteSQL(db *table.Database, sql string) (*Result, error) {
 // Count executes stmt and returns only the number of result rows. Lineage
 // tracking is disabled for speed.
 func Count(db *table.Database, stmt *sqlparse.Select) (int, error) {
-	res, err := ExecuteWith(db, stmt, Options{})
+	return CountContext(context.Background(), db, stmt, Options{})
+}
+
+// CountContext is Count with a query context and explicit options, for
+// callers (the shadow auditor) that need ground-truth cardinalities under a
+// deadline. Lineage tracking is forced off.
+func CountContext(ctx context.Context, db *table.Database, stmt *sqlparse.Select, opts Options) (int, error) {
+	opts.TrackLineage = false
+	res, err := ExecuteWithContext(ctx, db, stmt, opts)
 	if err != nil {
 		return 0, err
 	}

@@ -178,6 +178,36 @@ func GroupRelativeError(pred, truth map[string]float64) float64 {
 	return total / float64(len(truth))
 }
 
+// CoverageError turns Equation 1's per-query coverage score into an error
+// for SPJ answers served from an approximation set:
+//
+//	error = 1 − min(1, served / min(F, truth))
+//
+// served is the number of rows the system answered with, truth the full-
+// database cardinality, and frameSize the exploratory frame F (≤ 0 disables
+// the frame cap). Because the approximation set is a subset of the full
+// database, cardinalities alone measure coverage — a served answer can miss
+// true rows but never invent them. A truth of zero is a perfect answer
+// (nothing to cover) unless rows were served anyway, which counts as a
+// complete mismatch.
+func CoverageError(served, truth, frameSize int) float64 {
+	if truth <= 0 {
+		if served == 0 {
+			return 0
+		}
+		return 1
+	}
+	denom := truth
+	if frameSize > 0 && frameSize < denom {
+		denom = frameSize
+	}
+	score := float64(served) / float64(denom)
+	if score > 1 {
+		score = 1
+	}
+	return 1 - score
+}
+
 // JaccardDiversity measures result diversity as the mean pairwise Jaccard
 // distance between the row sets of consecutive query answers, following the
 // diversity comparison of Section 6.2. Each result is represented by its set

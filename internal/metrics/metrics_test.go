@@ -273,6 +273,30 @@ func TestGroupRelativeError(t *testing.T) {
 	}
 }
 
+func TestCoverageError(t *testing.T) {
+	cases := []struct {
+		served, truth, frame int
+		want                 float64
+	}{
+		{3, 3, 25, 0},       // full coverage
+		{2, 3, 25, 1.0 / 3}, // 2 of 3 true rows served
+		{0, 3, 25, 1},       // nothing served
+		{0, 0, 25, 0},       // empty truth, empty answer: perfect
+		{2, 0, 25, 1},       // rows invented against an empty truth
+		{10, 100, 25, 0.6},  // frame caps the denominator: 1 - 10/25
+		{30, 100, 25, 0},    // beyond the frame counts as full coverage
+		{5, 3, 25, 0},       // over-delivery clamps to score 1
+		{2, 3, 0, 1.0 / 3},  // frame 0 disables the cap
+		{2, 3, -1, 1.0 / 3}, // negative frame likewise
+		{10, 100, 200, 0.9}, // frame larger than truth: truth wins
+	}
+	for _, c := range cases {
+		if got := CoverageError(c.served, c.truth, c.frame); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("CoverageError(%d, %d, %d) = %v, want %v", c.served, c.truth, c.frame, got, c.want)
+		}
+	}
+}
+
 func TestJaccardDiversity(t *testing.T) {
 	// Identical results → 0 diversity.
 	same := [][]string{{"a", "b"}, {"a", "b"}}

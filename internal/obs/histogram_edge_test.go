@@ -1,0 +1,246 @@
+package obs
+
+import (
+	"context"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestHistogramQuantileEmpty: every quantile of an empty histogram is 0, and
+// so are the extrema — no NaN or sentinel infinities may leak out.
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram()
+	for _, q := range []float64{0, 0.5, 0.95, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("empty histogram extrema = (%v, %v), want (0, 0)", h.Min(), h.Max())
+	}
+	s := h.Snapshot()
+	if s.Count != 0 || s.Mean != 0 || s.P50 != 0 || s.P99 != 0 {
+		t.Errorf("empty snapshot: %+v", s)
+	}
+	if math.IsNaN(s.Mean) || math.IsInf(s.Min, 0) || math.IsInf(s.Max, 0) {
+		t.Errorf("empty snapshot leaks sentinels: %+v", s)
+	}
+}
+
+// TestHistogramQuantileSingleObservation: with one observation every
+// quantile must report exactly that value — the extrema clamping defeats the
+// factor-of-two bucket interpolation error.
+func TestHistogramQuantileSingleObservation(t *testing.T) {
+	for _, v := range []float64{0, 1e-9, 0.333, 1, 1e6} {
+		h := NewHistogram()
+		h.Observe(v)
+		for _, q := range []float64{0, 0.5, 0.95, 1} {
+			if got := h.Quantile(q); got != v {
+				t.Errorf("single-observation(%v) Quantile(%v) = %v, want %v", v, q, got, v)
+			}
+		}
+		if h.Min() != v || h.Max() != v {
+			t.Errorf("single-observation(%v) extrema = (%v, %v)", v, h.Min(), h.Max())
+		}
+	}
+}
+
+// TestHistogramQuantileBoundsClamped: out-of-range q values clamp to [0, 1]
+// instead of panicking or extrapolating.
+func TestHistogramQuantileBoundsClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(1)
+	h.Observe(2)
+	if got := h.Quantile(-0.5); got != h.Quantile(0) {
+		t.Errorf("Quantile(-0.5) = %v, want Quantile(0) = %v", got, h.Quantile(0))
+	}
+	if got := h.Quantile(1.5); got != h.Quantile(1) {
+		t.Errorf("Quantile(1.5) = %v, want Quantile(1) = %v", got, h.Quantile(1))
+	}
+	if got := h.Quantile(1); got != 2 {
+		t.Errorf("Quantile(1) = %v, want the max 2", got)
+	}
+}
+
+// TestHistogramNegativeAndNaNClampedToZero: invalid observations land in the
+// first bucket as 0 rather than corrupting sums or extrema.
+func TestHistogramNegativeAndNaNClampedToZero(t *testing.T) {
+	h := NewHistogram()
+	h.Observe(-5)
+	h.Observe(math.NaN())
+	if h.Count() != 2 {
+		t.Fatalf("count = %d, want 2", h.Count())
+	}
+	if h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("clamped stats: sum=%v min=%v max=%v, want all 0", h.Sum(), h.Min(), h.Max())
+	}
+	if math.IsNaN(h.Quantile(0.5)) {
+		t.Error("NaN leaked into quantiles")
+	}
+}
+
+// TestHistogramExemplarConcurrentReadWrite races exemplar stores against
+// loads (Exemplars, Snapshot, WritePrometheus) — run under -race this is the
+// pointer-race guard for the per-bucket atomic exemplar slots.
+func TestHistogramExemplarConcurrentReadWrite(t *testing.T) {
+	h := NewHistogram()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			v := float64(seed+1) * 1e-6
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					h.ObserveExemplar(v, NewTraceID())
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sb strings.Builder
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+					for _, ex := range h.Exemplars() {
+						if ex.TraceID == "" || ex.Value < 0 {
+							t.Errorf("torn exemplar read: %+v", ex)
+							return
+						}
+					}
+					_ = h.Snapshot()
+					sb.Reset()
+					_ = writePromHistogram(&sb, "x", h)
+				}
+			}
+		}()
+	}
+	time.Sleep(100 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if len(h.Exemplars()) == 0 {
+		t.Error("no exemplars retained after concurrent writes")
+	}
+}
+
+// TestHistogramExemplarZeroTraceIDSkipped: untraced observations must not
+// allocate or overwrite exemplars.
+func TestHistogramExemplarZeroTraceIDSkipped(t *testing.T) {
+	h := NewHistogram()
+	tid := NewTraceID()
+	h.ObserveExemplar(1e-6, tid)
+	h.ObserveExemplar(1e-6, TraceID{}) // same bucket, zero trace: keep old
+	exs := h.Exemplars()
+	if len(exs) != 1 || exs[0].TraceID != tid.String() {
+		t.Errorf("exemplars = %+v, want the traced observation only", exs)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		h.ObserveExemplar(1e-6, TraceID{})
+	})
+	if allocs != 0 {
+		t.Errorf("untraced ObserveExemplar allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestPromNameSanitization: metric names must render as valid Prometheus
+// identifiers — slashes, dots, dashes, unicode, and leading digits all
+// become underscores.
+func TestPromNameSanitization(t *testing.T) {
+	cases := map[string]string{
+		"asqp/audit/relative_error": "asqp_audit_relative_error",
+		"server/request_seconds":    "server_request_seconds",
+		"a.b-c d":                   "a_b_c_d",
+		"0leading":                  "_leading",
+		"ok:colon_9":                "ok:colon_9",
+		"héllo/wörld":               "h_llo_w_rld",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPromExemplarLabelEscaping: a trace ID rendered into the OpenMetrics
+// exemplar comment is quoted with %q, so the label survives even hostile
+// values; the exposition around it must stay parseable line-by-line.
+func TestPromExemplarLabelEscaping(t *testing.T) {
+	h := NewHistogram()
+	tid := NewTraceID()
+	h.ObserveExemplar(2e-6, tid)
+	var sb strings.Builder
+	if err := writePromHistogram(&sb, "asqp_audit_relative_error", h); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `# {trace_id="`+tid.String()+`"}`) {
+		t.Errorf("exemplar comment missing quoted trace_id:\n%s", out)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# TYPE"):
+		case strings.Contains(line, "_bucket{le=\""):
+			// Bucket lines: `name_bucket{le="..."} N` with an optional
+			// ` # {...} v ts` exemplar suffix; the le label must be quoted.
+			if strings.Count(line, `"`) < 2 {
+				t.Errorf("unquoted le label: %q", line)
+			}
+		case strings.HasPrefix(line, "asqp_audit_relative_error_sum"),
+			strings.HasPrefix(line, "asqp_audit_relative_error_count"):
+		default:
+			t.Errorf("unexpected exposition line: %q", line)
+		}
+	}
+}
+
+// TestAmendTraceAppendsAuditEvent: a late audit verdict must land on the
+// kept trace's root span, newest-first lookup, and a miss must report false.
+func TestAmendTraceAppendsAuditEvent(t *testing.T) {
+	SetEnabled(true)
+	ConfigureTracing(TracingConfig{SampleRate: 1})
+	ResetTraces()
+	t.Cleanup(func() {
+		DisableTracing()
+		ResetTraces()
+	})
+
+	_, span := StartSpan(context.Background(), "server/query")
+	tid := span.TraceID().String()
+	span.End()
+	if _, ok := KeptTrace(tid); !ok {
+		t.Fatal("trace not kept at sample rate 1")
+	}
+
+	ev := SpanEvent{Name: "audit", At: time.Now(), Attrs: map[string]any{"relative_error": 0.25}}
+	if !AmendTrace(tid, ev) {
+		t.Fatal("AmendTrace missed a kept trace")
+	}
+	rec, _ := KeptTrace(tid)
+	found := false
+	for _, e := range rec.Root.Events {
+		if e.Name == "audit" && e.Attrs["relative_error"] == 0.25 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("amended event not visible on the kept trace: %+v", rec.Root.Events)
+	}
+	if AmendTrace("00000000000000000000000000000000", ev) {
+		t.Error("AmendTrace reported success for an unknown trace")
+	}
+	if AmendTrace("", ev) {
+		t.Error("AmendTrace reported success for an empty trace ID")
+	}
+}

@@ -171,6 +171,37 @@ func KeptTrace(id string) (TraceRecord, bool) {
 	return TraceRecord{}, false
 }
 
+// AmendTrace appends an event to the root span of an already-kept trace, so
+// late-arriving facts about a finished request — a shadow-audit verdict, a
+// delayed downstream acknowledgement — become visible on the trace in
+// /tracez. The amendment is in-memory only: it reaches the traceRing record
+// (and anything snapshotted from it afterwards) but not a JSONL export that
+// already happened at span end; offline joins use the amending subsystem's
+// own span attributes instead. It returns false when the trace is not (or no
+// longer) in the kept ring — tail-dropped or evicted traces are not
+// addressable.
+func AmendTrace(id string, ev SpanEvent) bool {
+	if id == "" {
+		return false
+	}
+	traceKeep.mu.Lock()
+	defer traceKeep.mu.Unlock()
+	for i := 0; i < traceKeep.n; i++ {
+		idx := traceKeep.next - 1 - i
+		if idx < 0 {
+			idx += maxKeptTraces
+		}
+		if traceKeep.buf[idx].TraceID == id {
+			root := &traceKeep.buf[idx].Root
+			// Snapshots share their Events backing array with nothing (each
+			// Snapshot copies), so appending here is safe.
+			root.Events = append(root.Events, ev)
+			return true
+		}
+	}
+	return false
+}
+
 // SlowQueryStats aggregates kept traces per canonical SQL text (the root
 // span's "sql" attribute): how often the query appeared in kept traces, how
 // slow it got, and the trace ID of its most recent appearance — the /tracez

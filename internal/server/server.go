@@ -29,6 +29,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asqprl/internal/audit"
 	"asqprl/internal/core"
 	"asqprl/internal/engine"
 	"asqprl/internal/obs"
@@ -73,6 +74,23 @@ type Config struct {
 	DrainTimeout time.Duration
 	// Seed drives the breaker's cooldown jitter (default 1).
 	Seed int64
+	// AuditSample is the fraction of approximation-served/degraded answers
+	// shadow-audited against the full database (0 disables auditing, the
+	// default — the hot path then pays zero overhead).
+	AuditSample float64
+	// AuditWorkers is the size of the low-priority audit worker pool
+	// (default 1 when auditing is enabled).
+	AuditWorkers int
+	// AuditTimeout bounds one ground-truth re-execution (default 10s).
+	AuditTimeout time.Duration
+	// QualitySLOP95 is the relative-error quality SLO: audited answers whose
+	// error exceeds it burn error budget and are logged (0 disables).
+	QualitySLOP95 float64
+	// DriftObserve feeds each served query into core's interest-drift
+	// detector (Section 4.4). Off by default for in-process servers so
+	// synthetic traffic cannot poison the fine-tuning signal; asqp-serve
+	// enables it by default via -drift-observe.
+	DriftObserve bool
 }
 
 func (c Config) normalize() Config {
@@ -123,6 +141,7 @@ type Server struct {
 	sys atomic.Pointer[core.System]
 	adm *admission
 	brk *breaker
+	aud *audit.Auditor // nil when AuditSample is 0 — the hot path stays free
 
 	httpSrv    *http.Server
 	ln         net.Listener
@@ -148,6 +167,34 @@ func New(sys *core.System, cfg Config) *Server {
 	if sys != nil {
 		s.sys.Store(sys)
 	}
+	// The shadow auditor borrows spare capacity, never admission slots: its
+	// gate denies work while draining, while the breaker is not closed (the
+	// full database is already suspected sick — the last thing it needs is
+	// audit traffic), while in-flight load exceeds half the slots, or while
+	// any user request is queued. Denied workers back off; user traffic can
+	// never be shed by an audit.
+	s.aud = audit.New(
+		func() (*table.Database, int) {
+			sys := s.sys.Load()
+			if sys == nil {
+				return nil, 0
+			}
+			return sys.DB(), sys.Config().F
+		},
+		func() bool {
+			return !s.draining.Load() &&
+				s.brk.currentState() == breakerClosed &&
+				s.adm.queued.Load() == 0 &&
+				2*s.adm.inFlight() <= cfg.MaxInFlight
+		},
+		audit.Config{
+			SampleRate: cfg.AuditSample,
+			Workers:    cfg.AuditWorkers,
+			Timeout:    cfg.AuditTimeout,
+			SLOP95:     cfg.QualitySLOP95,
+			Seed:       cfg.Seed,
+		},
+	)
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -168,6 +215,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/qualityz", s.handleQualityz)
 	return mux
 }
 
@@ -210,6 +258,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	obs.Logger().Info("drain started", "inflight", s.adm.inFlight())
 	if !s.started.Load() {
 		s.baseCancel()
+		s.aud.Close()
 		close(s.done)
 		return nil
 	}
@@ -232,6 +281,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 	s.baseCancel()
 	<-s.done
+	// User traffic is drained; stop the audit workers too. Close rejects new
+	// audits, aborts any in-flight ground-truth execution, and waits for the
+	// pool to exit — SIGTERM leaves no audit goroutines behind.
+	s.aud.Close()
 	if obs.Enabled() {
 		obs.Default().Histogram("server/drain_seconds").ObserveDuration(time.Since(start))
 	}
@@ -269,6 +322,11 @@ type QueryResponse struct {
 	// TraceID links the response to its distributed trace (also echoed in
 	// the traceparent response header). Present whenever tracing is enabled.
 	TraceID string `json:"trace_id,omitempty"`
+	// ObservedError, when shadow auditing is enabled and has evidence for
+	// this query's shape, is the historical p95 relative error measured for
+	// answers shaped like this one — honest uncertainty from ground truth,
+	// not a model prediction. A pointer so a measured 0.0 still serializes.
+	ObservedError *float64 `json:"observed_error,omitempty"`
 }
 
 // handleQuery runs one query through admission control, breaker routing, and
@@ -360,11 +418,12 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		span.Event("breaker_probe")
 	}
 	opts := core.QueryOptions{
-		Timeout:  0, // ctx already carries the deadline
-		MaxRows:  maxRows,
-		Retries:  s.cfg.Retries,
-		Backoff:  s.cfg.Backoff,
-		SkipFull: skipFull,
+		Timeout:   0, // ctx already carries the deadline
+		MaxRows:   maxRows,
+		Retries:   s.cfg.Retries,
+		Backoff:   s.cfg.Backoff,
+		SkipFull:  skipFull,
+		SkipDrift: !s.cfg.DriftObserve,
 	}
 	res, qerr := sys.QueryStmtContext(ctx, stmt, opts)
 	s.brk.record(probe, res != nil && res.FullAttempted, fullRungFailed(res))
@@ -391,6 +450,24 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	if res.Degraded {
 		span.MarkDegraded(res.DegradedReason)
+	}
+	if s.aud != nil {
+		// One canonicalization serves both quality features: the lookup of
+		// historical error for this shape, and the audit-sampling offer.
+		canonical := stmt.String()
+		if oe, ok := s.aud.ObservedError(canonical); ok {
+			resp.ObservedError = &oe
+			span.Annotate("observed_error_p95", oe)
+		}
+		if s.aud.Consider(stmt, audit.Served{
+			SQL:      canonical,
+			TraceID:  span.TraceID(),
+			Source:   resp.Source,
+			Degraded: resp.Degraded,
+			Reason:   resp.DegradedReason,
+		}, res.Table) {
+			span.Event("audit_sampled")
+		}
 	}
 	if obs.Enabled() {
 		reg := obs.Default()
@@ -443,6 +520,11 @@ type Stats struct {
 	QueueDepth   int    `json:"queue_depth"`
 	BreakerState string `json:"breaker_state"`
 	SetSize      int    `json:"set_size,omitempty"`
+	// Quality is the shadow-audit rollup (Enabled false when auditing is
+	// off); DriftedQueries counts deviating queries accumulated by the
+	// drift detector since the last fine-tune.
+	Quality        audit.Summary `json:"quality"`
+	DriftedQueries int           `json:"drifted_queries"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -454,11 +536,36 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		MaxInFlight:  s.cfg.MaxInFlight,
 		QueueDepth:   s.cfg.QueueDepth,
 		BreakerState: s.brk.currentState().String(),
+		Quality:      s.aud.Stats(),
 	}
-	if sys := s.sys.Load(); sys != nil && sys.Set() != nil {
-		st.SetSize = sys.Set().Size()
+	if sys := s.sys.Load(); sys != nil {
+		if sys.Set() != nil {
+			st.SetSize = sys.Set().Size()
+		}
+		if d := sys.Drift(); d != nil {
+			st.DriftedQueries = d.DriftedCount()
+		}
 	}
 	s.writeJSON(w, http.StatusOK, time.Now(), st)
+}
+
+// handleQualityz serves the /qualityz debug page: the audit rollup, every
+// audited query shape sorted worst-p95 first, and the drift-detector status.
+// The endpoint is always mounted; with auditing disabled it reports
+// audit.enabled false so dashboards can probe capability.
+func (s *Server) handleQualityz(w http.ResponseWriter, r *http.Request) {
+	var drift *audit.DriftStatus
+	if sys := s.sys.Load(); sys != nil {
+		if d := sys.Drift(); d != nil {
+			drift = &audit.DriftStatus{
+				Enabled:   s.cfg.DriftObserve,
+				Drifted:   d.DriftedCount(),
+				Threshold: d.Count,
+				Triggered: d.Triggered(),
+			}
+		}
+	}
+	s.writeJSON(w, http.StatusOK, time.Now(), s.aud.Page(drift))
 }
 
 // parseQueryRequest accepts POST {json} or GET ?q=<sql>&timeout_ms=&max_rows=.

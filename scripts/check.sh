@@ -61,9 +61,20 @@ echo "==> go test -bench='TraceExport|SpanRingAdd' ./internal/obs/  (-> ${bench_
 go test -bench='TraceExport|SpanRingAdd' -benchtime=10000x -run='^$' ./internal/obs/ |
 	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
 
+# Audit-overhead bench: the disabled shadow auditor must stay a pointer
+# compare on the serve hot path — the bench records ns/op and allocs/op so
+# any regression shows in the history (the 0-alloc assertion itself lives in
+# TestAuditDisabledZeroAlloc, run in the race gate above).
+echo "==> go test -bench=AuditDisabledOverhead ./internal/audit/  (-> ${bench_out})"
+go test -bench=AuditDisabledOverhead -benchtime=100000x -run='^$' ./internal/audit/ |
+	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
+
 # Loadgen smoke: boot a real asqp-serve process on a tiny dataset, point
 # asqp-loadgen at it, and record the end-to-end numbers. Fails if any
-# response is malformed. The binary is built and exec'd directly (not
+# response is malformed — including a malformed observed_error field — and
+# the -quality flag makes loadgen validate the /qualityz audit rollup after
+# the run (auditing runs at full sampling here, so the gate exercises the
+# shadow-audit path end to end). The binary is built and exec'd directly (not
 # `go run`) so the recorded pid is the server itself and the TERM below
 # actually exercises — and completes — the graceful drain.
 echo "==> loadgen smoke: asqp-serve + asqp-loadgen  (-> ${bench_out})"
@@ -73,11 +84,12 @@ trace_dir="$(mktemp -d -t asqp-traces.XXXXXX)"
 go build -o "${serve_bin}" ./cmd/asqp-serve
 "${serve_bin}" -addr "localhost:${serve_port}" -scale 0.02 -k 150 -light \
 	-trace-dir "${trace_dir}" -trace-sample 1 \
+	-audit-sample 1 -quality-slo-p95 0.5 \
 	-log warn >/dev/null &
 serve_pid=$!
 trap 'kill "${serve_pid}" 2>/dev/null || true; rm -f "${serve_bin}"; rm -rf "${trace_dir}"' EXIT
 go run ./cmd/asqp-loadgen -url "http://localhost:${serve_port}" \
-	-clients 8 -duration 3s -label LoadgenSmoke -json "${bench_out}"
+	-clients 8 -duration 3s -label LoadgenSmoke -quality -json "${bench_out}"
 kill -TERM "${serve_pid}" 2>/dev/null || true
 wait "${serve_pid}" 2>/dev/null || true
 rm -f "${serve_bin}"
