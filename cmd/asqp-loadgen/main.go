@@ -50,6 +50,11 @@ type result struct {
 	// WithObservedError counts OK responses carrying a well-formed
 	// observed_error field (present only when the server shadow-audits).
 	WithObservedError int64 `json:"with_observed_error,omitempty"`
+	// RetrainSwaps and Generation record the drift-storm outcome: how many
+	// hot swaps the server's retrain controller completed and which system
+	// generation was serving when the run ended.
+	RetrainSwaps int64 `json:"retrain_swaps,omitempty"`
+	Generation   int64 `json:"generation,omitempty"`
 }
 
 type queryList []string
@@ -69,16 +74,30 @@ func main() {
 	label := flag.String("label", "LoadgenServe", "benchmark name recorded in the JSON output")
 	trace := flag.Bool("traceparent", true, "send a W3C traceparent header per request and check the server echoes the trace ID")
 	quality := flag.Bool("quality", false, "after the run, fetch /qualityz and fail unless the audit block is well-formed")
+	scenario := flag.String("scenario", "", "traffic scenario: empty (steady mix) or drift-storm (shift the query mix mid-run, then require a completed retrain or clean backoff)")
+	retrainWait := flag.Duration("retrain-wait", 45*time.Second, "drift-storm: how long to wait after the run for the server's retrain to reach a terminal state")
 	var queries queryList
 	flag.Var(&queries, "query", "query to fire (repeatable; defaults to an IMDB mix)")
 	flag.Parse()
 
+	if *scenario != "" && *scenario != "drift-storm" {
+		fatal(fmt.Errorf("unknown scenario %q (want drift-storm)", *scenario))
+	}
 	if len(queries) == 0 {
 		queries = queryList{
 			"SELECT * FROM title WHERE rating > 7",
 			"SELECT name FROM name WHERE birth_year > 1980",
 			"SELECT * FROM title t JOIN cast_info c ON t.id = c.title_id WHERE t.rating > 8",
 		}
+	}
+	// The drift-storm second-half mix: queries far from the typical training
+	// workload, so the server's estimator sees low similarity and the drift
+	// detector accumulates evidence (Section 4.4's interest shift, compressed
+	// into one run).
+	driftQueries := queryList{
+		"SELECT * FROM name WHERE birth_year > 1985",
+		"SELECT * FROM name WHERE birth_year < 1890",
+		"SELECT name, birth_year FROM name WHERE birth_year > 1970",
 	}
 
 	// Wait for readiness so training time is not billed as latency.
@@ -92,15 +111,20 @@ func main() {
 		res       = result{Name: fmt.Sprintf("%s/clients=%d", *label, *clients), Clients: *clients}
 	)
 	client := &http.Client{Timeout: 30 * time.Second}
-	deadline := time.Now().Add(*duration)
 	start := time.Now()
+	deadline := start.Add(*duration)
+	storm := start.Add(*duration / 2) // drift-storm: the mix shifts here
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
 			for i := 0; time.Now().Before(deadline); i++ {
-				sql := queries[(id+i)%len(queries)]
+				mix := queries
+				if *scenario == "drift-storm" && time.Now().After(storm) {
+					mix = driftQueries
+				}
+				sql := mix[(id+i)%len(mix)]
 				// Each request carries its own W3C trace identity; a traced
 				// server must echo the same trace ID back, so a mismatch is a
 				// correctness failure, not a formatting nit.
@@ -176,6 +200,14 @@ func main() {
 		if err := checkQuality(client, *url); err != nil {
 			fatal(err)
 		}
+	}
+	if *scenario == "drift-storm" {
+		swaps, gen, err := checkRetrain(client, *url, *retrainWait)
+		if err != nil {
+			fatal(err)
+		}
+		res.RetrainSwaps = swaps
+		res.Generation = gen
 	}
 
 	if *jsonOut != "" {
@@ -302,6 +334,66 @@ func checkQuality(client *http.Client, base string) error {
 	fmt.Printf("quality: audited %d/%d eligible (coverage %.0f%%), error p50 %.3f p95 %.3f max %.3f over %d shapes\n",
 		a.Completed, a.Eligible, 100*a.Coverage, a.ErrorP50, a.ErrorP95, a.ErrorMax, len(page.Shapes))
 	return nil
+}
+
+// checkRetrain polls /retrainz until the server's retrain controller reaches
+// a terminal outcome for the drift storm: a completed hot swap (success), or
+// a clean failure path — validation reject, give-up, or armed backoff — with
+// the incumbent still serving. Anything else within the wait (controller
+// disabled, no drift picked up, no attempt started) fails the run: the storm
+// was supposed to trip the pipeline.
+func checkRetrain(client *http.Client, base string, wait time.Duration) (swaps, generation int64, err error) {
+	deadline := time.Now().Add(wait)
+	var page struct {
+		Generation int64 `json:"generation"`
+		Status     struct {
+			Enabled     bool   `json:"enabled"`
+			State       string `json:"state"`
+			Attempts    int64  `json:"attempts"`
+			Swaps       int64  `json:"swaps"`
+			Rollbacks   int64  `json:"rollbacks"`
+			Failures    int64  `json:"failures"`
+			LastOutcome string `json:"last_outcome"`
+			LastError   string `json:"last_error"`
+		} `json:"status"`
+	}
+	for {
+		resp, gerr := client.Get(base + "/retrainz")
+		if gerr != nil {
+			return 0, 0, fmt.Errorf("/retrainz: %w", gerr)
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			return 0, 0, fmt.Errorf("/retrainz: %w", rerr)
+		}
+		if resp.StatusCode != http.StatusOK {
+			return 0, 0, fmt.Errorf("/retrainz: HTTP %d: %s", resp.StatusCode, body)
+		}
+		if uerr := json.Unmarshal(body, &page); uerr != nil {
+			return 0, 0, fmt.Errorf("/retrainz: bad JSON: %w", uerr)
+		}
+		st := page.Status
+		if !st.Enabled {
+			return 0, 0, fmt.Errorf("drift-storm needs a server started with -retrain (controller reports disabled)")
+		}
+		switch {
+		case st.Swaps > 0:
+			fmt.Printf("retrain: %d swap(s), %d rollback(s); serving generation %d (state %s)\n",
+				st.Swaps, st.Rollbacks, page.Generation, st.State)
+			return st.Swaps, page.Generation, nil
+		case st.Failures > 0 && (st.State == "backoff" || st.LastOutcome == "gave_up"):
+			// Clean backoff: attempts ran, failed validated-or-faulted, and the
+			// controller is holding off — the incumbent never stopped serving.
+			fmt.Printf("retrain: no swap, clean backoff after %d attempt(s) (%s: %s); still generation %d\n",
+				st.Attempts, st.LastOutcome, st.LastError, page.Generation)
+			return 0, page.Generation, nil
+		}
+		if time.Now().After(deadline) {
+			return 0, 0, fmt.Errorf("retrain reached no terminal state within %s: %+v", wait, st)
+		}
+		time.Sleep(500 * time.Millisecond)
+	}
 }
 
 // traceIDMatches checks that a response either omits trace_id (tracing off

@@ -9,7 +9,7 @@
 //
 //	POST /query   {"sql": "...", "timeout_ms": 500, "max_rows": 1000}
 //	GET  /query?q=SELECT...&timeout_ms=500
-//	GET  /stats, /healthz, /readyz, /qualityz
+//	GET  /stats, /healthz, /readyz, /qualityz, /retrainz
 //
 // Usage:
 //
@@ -36,6 +36,7 @@ import (
 	"asqprl/internal/core"
 	"asqprl/internal/datagen"
 	"asqprl/internal/obs"
+	"asqprl/internal/retrain"
 	"asqprl/internal/server"
 	"asqprl/internal/table"
 	"asqprl/internal/workload"
@@ -70,6 +71,13 @@ func main() {
 	auditWorkers := flag.Int("audit-workers", 1, "low-priority audit worker pool size")
 	qualitySLO := flag.Float64("quality-slo-p95", 0, "quality SLO: audited relative error above this burns error budget and logs a warning (0 = off)")
 	driftObserve := flag.Bool("drift-observe", true, "feed served queries into the interest-drift detector")
+	driftConfidence := flag.Float64("drift-confidence", 0, "deviation confidence (1 - similarity) above which a served query counts as drifted (0 = config default)")
+	driftCount := flag.Int("drift-count", 0, "drifted queries that trigger fine-tuning/retraining (0 = config default)")
+	retrainOn := flag.Bool("retrain", false, "enable drift-triggered background retraining with validated hot-swap and rollback")
+	retrainInterval := flag.Duration("retrain-interval", 2*time.Second, "how often the retrain controller polls the drift detector")
+	retrainTimeout := flag.Duration("retrain-timeout", 5*time.Minute, "hard deadline for one retrain attempt (clone + fine-tune + validate)")
+	retrainMargin := flag.Float64("retrain-validate-margin", 0.05, "how much worse the candidate may score than the incumbent and still swap in")
+	retrainRollback := flag.Duration("retrain-rollback-window", 30*time.Second, "how long the old system is retained after a swap for automatic rollback")
 	flag.Parse()
 
 	if *logLevel != "" && *logLevel != "off" {
@@ -89,11 +97,17 @@ func main() {
 		}
 		fmt.Printf("exporting traces to %s\n", exporter.Dir())
 	}
-	obs.ConfigureTracing(obs.TracingConfig{
+	tracingCfg := obs.TracingConfig{
 		SampleRate:    *traceSample,
 		SlowThreshold: *traceSlow,
-		Exporter:      exporter,
-	})
+	}
+	// Only set the sink when an exporter exists: assigning the nil
+	// *JSONLExporter directly would store a typed-nil interface that passes
+	// the sampler's != nil check and panic on the first kept trace.
+	if exporter != nil {
+		tracingCfg.Exporter = exporter
+	}
+	obs.ConfigureTracing(tracingCfg)
 
 	var debug *obs.DebugServer
 	if *debugAddr != "" {
@@ -119,15 +133,32 @@ func main() {
 		AuditWorkers:    *auditWorkers,
 		QualitySLOP95:   *qualitySLO,
 		DriftObserve:    *driftObserve,
+		Retrain: retrain.Config{
+			Enabled:        *retrainOn,
+			Interval:       *retrainInterval,
+			Timeout:        *retrainTimeout,
+			ValidateMargin: *retrainMargin,
+			RollbackWindow: *retrainRollback,
+			// With -save set, the retrained candidate replaces the snapshot via
+			// the same atomic-rename path before every swap (and the incumbent
+			// re-replaces it after a rollback), so a crash at any moment
+			// restarts with a consistent, current approximation set.
+			SnapshotPath: *saveFile,
+			Seed:         *seed,
+		},
 	})
 	bound, err := srv.Start()
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving on http://%s (/query, /healthz, /readyz, /stats, /qualityz); not ready until the system loads\n", bound)
+	fmt.Printf("serving on http://%s (/query, /healthz, /readyz, /stats, /qualityz, /retrainz); not ready until the system loads\n", bound)
 	if *auditSample > 0 {
 		fmt.Printf("shadow auditing %.0f%% of approx-served answers (workers=%d, slo-p95=%g)\n",
 			*auditSample*100, *auditWorkers, *qualitySLO)
+	}
+	if *retrainOn {
+		fmt.Printf("background retraining armed (margin=%g, attempt timeout=%s, rollback window=%s)\n",
+			*retrainMargin, *retrainTimeout, *retrainRollback)
 	}
 
 	// Drain on SIGTERM/SIGINT: stop admitting, wait for in-flight queries up
@@ -135,9 +166,21 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
-	sys, err := buildSystem(ctx, *dataset, *dataDir, *workloadFile, *loadFile, *scale, *seed, *k, *frame, *light, *parallelism)
+	sys, err := buildSystem(ctx, *dataset, *dataDir, *workloadFile, *loadFile, *scale, *seed, *k, *frame, *light, *parallelism, *driftConfidence, *driftCount)
 	if err != nil {
 		fatal(err)
+	}
+	// Apply detector overrides to a -load'ed system too: its detector came
+	// from the snapshot's training-time config. (Train-path overrides are
+	// baked into the config inside buildSystem, so clones made by the
+	// retrain controller inherit them through the snapshot.)
+	if d := sys.Drift(); d != nil {
+		if *driftConfidence > 0 {
+			d.Confidence = *driftConfidence
+		}
+		if *driftCount > 0 {
+			d.Count = *driftCount
+		}
 	}
 	if *saveFile != "" {
 		if err := sys.SaveFile(*saveFile); err != nil {
@@ -171,7 +214,7 @@ func main() {
 }
 
 // buildSystem loads a snapshot or trains from scratch, honoring cancellation.
-func buildSystem(ctx context.Context, dataset, dataDir, workloadFile, loadFile string, scale float64, seed int64, k, frame int, light bool, parallelism int) (*core.System, error) {
+func buildSystem(ctx context.Context, dataset, dataDir, workloadFile, loadFile string, scale float64, seed int64, k, frame int, light bool, parallelism int, driftConfidence float64, driftCount int) (*core.System, error) {
 	db, err := loadDB(dataset, dataDir, scale, seed)
 	if err != nil {
 		return nil, err
@@ -198,6 +241,12 @@ func buildSystem(ctx context.Context, dataset, dataDir, workloadFile, loadFile s
 	cfg.F = frame
 	cfg.Seed = seed
 	cfg.Parallelism = parallelism
+	if driftConfidence > 0 {
+		cfg.DriftConfidence = driftConfidence
+	}
+	if driftCount > 0 {
+		cfg.DriftCount = driftCount
+	}
 	start := time.Now()
 	sys, err := core.TrainContext(ctx, db, w, cfg)
 	if err != nil {

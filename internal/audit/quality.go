@@ -82,6 +82,32 @@ func (a *Auditor) ObservedError(canonicalSQL string) (float64, bool) {
 	return st.hist.Quantile(0.95), true
 }
 
+// WorstShapeP95 returns the worst per-shape p95 relative error observed so
+// far, plus the total number of completed audits backing the figure. ok is
+// false when auditing is disabled or no audit has completed yet — callers
+// (the retrain controller's rollback monitor) then have no quality signal
+// and must not act on the zeros. The per-shape p95 is the right rollback
+// signal: a retrained set that regresses one query pattern shows up in that
+// shape's histogram immediately, where a pooled global quantile would dilute
+// it under healthy traffic.
+func (a *Auditor) WorstShapeP95() (p95 float64, completed int64, ok bool) {
+	if a == nil {
+		return 0, 0, false
+	}
+	a.mu.Lock()
+	shapes := len(a.shapes)
+	for _, st := range a.shapes {
+		if q := st.hist.Quantile(0.95); q > p95 {
+			p95 = q
+		}
+	}
+	a.mu.Unlock()
+	if shapes == 0 {
+		return 0, a.completed.Load(), false
+	}
+	return p95, a.completed.Load(), true
+}
+
 // Summary is the compact audit rollup embedded as the "quality" block of
 // /stats.
 type Summary struct {

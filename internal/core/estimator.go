@@ -156,6 +156,27 @@ func (d *DriftDetector) Triggered() bool {
 	return len(d.drifted) >= d.Count
 }
 
+// Take atomically snapshots and clears the accumulated drifted statements,
+// provided at least min of them have accumulated (min <= 0 asks for 1). It
+// returns nil — and clears nothing — below the threshold. Snapshot and reset
+// happen under one mutex hold, so statements observed concurrently by serving
+// traffic land either in this batch or in the next one, never in both and
+// never lost: the read/mutate race of reading Drifted() and resetting later
+// cannot drop an Observe that slipped in between.
+func (d *DriftDetector) Take(min int) []*sqlparse.Select {
+	if min <= 0 {
+		min = 1
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.drifted) < min {
+		return nil
+	}
+	out := d.drifted
+	d.drifted = nil
+	return out
+}
+
 // ResetDrift clears the accumulated queries (called after fine-tuning).
 func (d *DriftDetector) ResetDrift() {
 	d.mu.Lock()

@@ -1,0 +1,73 @@
+package core
+
+import (
+	"path/filepath"
+	"testing"
+
+	"asqprl/internal/workload"
+)
+
+// TestFineTuneSnapshotRoundTrip proves fine-tune state survives the file
+// snapshot path: after FineTune, SaveFile→LoadFile preserves the FineTunes
+// counter, the merged training workload, and the exact approximation set —
+// so a retrained server that crashes recovers the retrained state, not the
+// original one.
+func TestFineTuneSnapshotRoundTrip(t *testing.T) {
+	db := testIMDB()
+	w := testWorkload()
+	sys, err := Train(db, w, testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseTrain := len(sys.TrainingWorkload())
+
+	extra := workloadForDrift(t)
+	if err := sys.FineTune(extra, 4); err != nil {
+		t.Fatal(err)
+	}
+	if got := sys.Stats().FineTunes; got != 1 {
+		t.Fatalf("FineTunes = %d, want 1", got)
+	}
+	wantTrain := len(sys.TrainingWorkload())
+	if wantTrain <= baseTrain {
+		t.Fatalf("fine-tune did not grow the training workload: %d -> %d", baseTrain, wantTrain)
+	}
+
+	path := filepath.Join(t.TempDir(), "finetuned.asqp")
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(db, path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if got := loaded.Stats().FineTunes; got != 1 {
+		t.Errorf("loaded FineTunes = %d, want 1", got)
+	}
+	if got := len(loaded.TrainingWorkload()); got != wantTrain {
+		t.Errorf("loaded training workload = %d queries, want %d", got, wantTrain)
+	}
+	if loaded.Set().Size() != sys.Set().Size() {
+		t.Fatalf("loaded set size %d != %d", loaded.Set().Size(), sys.Set().Size())
+	}
+	for _, id := range sys.Set().IDs() {
+		if !loaded.Set().Contains(id) {
+			t.Fatalf("loaded set missing %v", id)
+		}
+	}
+}
+
+// workloadForDrift builds a small workload disjoint enough from testWorkload
+// to exercise the merge path.
+func workloadForDrift(t *testing.T) workload.Workload {
+	t.Helper()
+	w, err := workload.New(
+		"SELECT * FROM name WHERE birth_year > 1950",
+		"SELECT * FROM name WHERE birth_year < 1900",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}

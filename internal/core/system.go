@@ -674,12 +674,53 @@ func (s *System) FineTuneContext(ctx context.Context, newQueries workload.Worklo
 // FineTuneFromDrift fine-tunes on the drift detector's accumulated queries.
 // It is a no-op returning false when no drift has been detected.
 func (s *System) FineTuneFromDrift(extraEpisodes int) (bool, error) {
-	drifted := s.drift.Drifted()
-	if len(drifted) < s.drift.Count {
+	return s.FineTuneFromDriftContext(context.Background(), extraEpisodes)
+}
+
+// FineTuneFromDriftContext is FineTuneFromDrift with cooperative cancellation
+// (matching the FineTune/FineTuneContext convention). The drifted statements
+// are snapshotted and cleared in one atomic detector operation, so concurrent
+// QueryContext calls observing into the same detector can never have a
+// statement both consumed here and dropped by a later reset. When the
+// fine-tune fails the taken statements are not restored — the caller decides
+// whether to retry on the same batch (see internal/retrain) or wait for
+// fresh drift to accumulate.
+func (s *System) FineTuneFromDriftContext(ctx context.Context, extraEpisodes int) (bool, error) {
+	drifted := s.drift.Take(s.drift.Count)
+	if drifted == nil {
 		return false, nil
 	}
-	if err := s.FineTune(workload.FromStatements(drifted), extraEpisodes); err != nil {
+	if err := s.FineTuneContext(ctx, workload.FromStatements(drifted), extraEpisodes); err != nil {
 		return false, err
 	}
 	return true, nil
+}
+
+// TrainingWorkload returns a copy of the system's current training workload
+// (the original workload plus everything merged in by fine-tuning).
+// Validation gates sample held-back slices of it to check a retrained
+// candidate for catastrophic forgetting.
+func (s *System) TrainingWorkload() workload.Workload {
+	return append(workload.Workload(nil), s.train...)
+}
+
+// Clone returns an independent copy of the system built through the CRC-framed
+// snapshot path (SaveBytes -> LoadBytes): the clone shares only the immutable
+// full database with the receiver — training workload, approximation set,
+// agent networks, estimator, drift detector, and reference cache are all its
+// own. A clone can therefore be fine-tuned, rebuilt, and discarded while the
+// original keeps serving queries; this is the isolation primitive behind
+// background retraining. Preprocessing artifacts are not copied (the snapshot
+// does not carry them) and are rebuilt lazily on the clone when fine-tuning
+// needs them.
+func (s *System) Clone() (*System, error) {
+	data, err := s.SaveBytes()
+	if err != nil {
+		return nil, fmt.Errorf("core: clone: %w", err)
+	}
+	clone, err := LoadBytes(s.db, data)
+	if err != nil {
+		return nil, fmt.Errorf("core: clone: %w", err)
+	}
+	return clone, nil
 }

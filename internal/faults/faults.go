@@ -236,6 +236,13 @@ const (
 	PointPreExecute    = "core/preprocess/execute"
 	PointPreSubsample  = "core/preprocess/subsample"
 	PointRLUpdate      = "rl/update"
+	// Retrain-controller stages (internal/retrain): each fires before the
+	// stage runs, so an armed fault fails the retrain attempt while the
+	// incumbent system keeps serving untouched.
+	PointRetrainClone    = "retrain/clone"
+	PointRetrainTrain    = "retrain/train"
+	PointRetrainValidate = "retrain/validate"
+	PointRetrainSwap     = "retrain/swap"
 )
 
 // Points lists every canonical injection point, sorted.
@@ -250,6 +257,10 @@ func Points() []string {
 		PointPreExecute,
 		PointPreSubsample,
 		PointRLUpdate,
+		PointRetrainClone,
+		PointRetrainTrain,
+		PointRetrainValidate,
+		PointRetrainSwap,
 	}
 	sort.Strings(ps)
 	return ps

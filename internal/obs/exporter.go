@@ -58,8 +58,15 @@ func NewJSONLExporter(dir string, maxFileBytes int64, maxFiles int) (*JSONLExpor
 }
 
 // ExportTrace appends one trace as a JSONL line, rotating first if the
-// active file is over budget. It implements TraceSink.
+// active file is over budget. It implements TraceSink. Nil-safe: a nil
+// *JSONLExporter silently drops the trace, so a typed-nil handed to
+// ConfigureTracing (an Exporter interface wrapping a nil pointer passes the
+// sampler's != nil check) degrades to "no export" instead of panicking the
+// first sampled span.
 func (e *JSONLExporter) ExportTrace(rec TraceRecord) error {
+	if e == nil {
+		return nil
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return fmt.Errorf("obs: trace marshal: %w", err)

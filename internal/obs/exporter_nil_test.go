@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestTypedNilExporterDoesNotPanic pins the regression where a nil
+// *JSONLExporter assigned to TracingConfig.Exporter (a typed-nil interface,
+// which passes the sampler's != nil check) panicked the first kept trace.
+// The nil receiver must degrade to "no export" instead.
+func TestTypedNilExporterDoesNotPanic(t *testing.T) {
+	var e *JSONLExporter
+	ConfigureTracing(TracingConfig{
+		SampleRate:    1, // keep every trace so the export path runs
+		SlowThreshold: time.Hour,
+		Exporter:      e,
+	})
+	defer DisableTracing()
+
+	_, span := StartSpan(context.Background(), "nil-exporter-probe")
+	span.MarkError("kept for sure") // error traces are always sampled
+	span.End()                      // must not panic
+}

@@ -1,0 +1,461 @@
+package retrain
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"asqprl/internal/core"
+	"asqprl/internal/datagen"
+	"asqprl/internal/faults"
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/workload"
+)
+
+var (
+	fixtureOnce sync.Once
+	fixtureSys  *core.System
+	fixtureErr  error
+)
+
+// fixture trains one small system and caches it; every test clones it so the
+// shared fixture is never mutated (the same isolation the controller itself
+// guarantees for the incumbent).
+func fixture(t *testing.T) *core.System {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.K = 150
+		cfg.F = 25
+		cfg.NumRepresentatives = 8
+		cfg.ActionSpaceSize = 64
+		cfg.MaxTrackedPerQuery = 60
+		cfg.Episodes = 24
+		cfg.RL.Workers = 4
+		cfg.Seed = 1
+		fixtureSys, fixtureErr = core.Train(datagen.IMDB(0.02, 7), workload.IMDB(18, 11), cfg)
+	})
+	if fixtureErr != nil {
+		t.Fatalf("training shared fixture: %v", fixtureErr)
+	}
+	sys, err := fixtureSys.Clone()
+	if err != nil {
+		t.Fatalf("cloning fixture: %v", err)
+	}
+	return sys
+}
+
+// host is a fake serving layer: an incumbent slot plus a publish log.
+type host struct {
+	mu        sync.Mutex
+	sys       *core.System
+	publishes []*core.System
+
+	qmu     sync.Mutex
+	quality func() (float64, int64, bool)
+}
+
+func newHost(sys *core.System) *host { return &host{sys: sys} }
+
+func (h *host) incumbent() *core.System {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sys
+}
+
+func (h *host) publish(sys *core.System) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.sys = sys
+	h.publishes = append(h.publishes, sys)
+}
+
+func (h *host) publishCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return len(h.publishes)
+}
+
+func (h *host) setQuality(f func() (float64, int64, bool)) {
+	h.qmu.Lock()
+	h.quality = f
+	h.qmu.Unlock()
+}
+
+func (h *host) probe() (float64, int64, bool) {
+	h.qmu.Lock()
+	f := h.quality
+	h.qmu.Unlock()
+	if f == nil {
+		return 0, 0, false
+	}
+	return f()
+}
+
+func (h *host) hooks() Hooks {
+	return Hooks{Incumbent: h.incumbent, Publish: h.publish, Quality: h.probe}
+}
+
+// testCfg is a controller config tuned for fast deterministic tests: huge
+// poll interval (only Force drives it), tiny training budget, short windows.
+func testCfg() Config {
+	return Config{
+		Enabled:          true,
+		Interval:         time.Hour,
+		Timeout:          2 * time.Minute,
+		ExtraEpisodes:    2,
+		ValidateMargin:   2, // scores live in [0,1]: the gate always passes
+		HoldbackFraction: 0.25,
+		RollbackWindow:   300 * time.Millisecond,
+		RollbackCheck:    20 * time.Millisecond,
+		MaxAttempts:      3,
+		Backoff:          10 * time.Millisecond,
+		MaxBackoff:       40 * time.Millisecond,
+		Seed:             1,
+	}
+}
+
+// primeDrift pushes n maximally-deviating statements into the system's drift
+// detector.
+func primeDrift(t *testing.T, sys *core.System, n int) {
+	t.Helper()
+	sqls := []string{
+		"SELECT * FROM name WHERE birth_year > 1950",
+		"SELECT * FROM name WHERE birth_year < 1900",
+		"SELECT * FROM name WHERE birth_year > 1980",
+	}
+	for i := 0; i < n; i++ {
+		stmt, err := sqlparse.Parse(sqls[i%len(sqls)])
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.Drift().Observe(stmt, 0) // deviation 1.0: always counts as drifted
+	}
+}
+
+// waitStatus polls the controller until cond is true or the deadline passes.
+func waitStatus(t *testing.T, c *Controller, timeout time.Duration, cond func(Status) bool) Status {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		st := c.Status()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("condition not reached before deadline; last status: %+v", st)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func mustBytes(t *testing.T, sys *core.System) []byte {
+	t.Helper()
+	b, err := sys.SaveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNilControllerIsDisabled(t *testing.T) {
+	var c *Controller
+	if st := c.Status(); st.Enabled || st.State != "disabled" {
+		t.Fatalf("nil controller status = %+v", st)
+	}
+	if err := c.Force(); err != ErrDisabled {
+		t.Fatalf("nil Force err = %v, want ErrDisabled", err)
+	}
+	c.Close() // must not panic
+}
+
+// TestForcedRetrainSwaps drives the happy path end to end: forced retrain on
+// accumulated drift fine-tunes a clone, passes the gate, swaps it in, and
+// commits after a clean rollback window — with the original incumbent
+// never mutated (byte-identical snapshot before vs. after).
+func TestForcedRetrainSwaps(t *testing.T) {
+	inc := fixture(t)
+	primeDrift(t, inc, 3)
+	incBefore := mustBytes(t, inc)
+
+	h := newHost(inc)
+	c := New(testCfg(), h.hooks())
+	c.Start()
+	defer c.Close()
+	if err := c.Force(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := waitStatus(t, c, 2*time.Minute, func(st Status) bool {
+		return st.Swaps == 1 && st.State == "idle"
+	})
+	if st.LastOutcome != "swapped" {
+		t.Fatalf("last outcome %q, want swapped", st.LastOutcome)
+	}
+	if st.LastGate == nil || !st.LastGate.Passed {
+		t.Fatalf("gate not recorded as passed: %+v", st.LastGate)
+	}
+	if h.publishCount() != 1 {
+		t.Fatalf("publishes = %d, want 1", h.publishCount())
+	}
+	if h.incumbent() == inc {
+		t.Fatal("swap did not replace the incumbent")
+	}
+	// The candidate actually learned: its fine-tune counter advanced and the
+	// drifted statements joined its training workload.
+	cand := h.incumbent()
+	if cand.Stats().FineTunes != inc.Stats().FineTunes+1 {
+		t.Fatalf("candidate FineTunes = %d, incumbent %d", cand.Stats().FineTunes, inc.Stats().FineTunes)
+	}
+	if len(cand.TrainingWorkload()) <= len(inc.TrainingWorkload()) {
+		t.Fatal("candidate training workload did not grow")
+	}
+	// The incumbent was never mutated by the attempt.
+	if !bytes.Equal(incBefore, mustBytes(t, inc)) {
+		t.Fatal("incumbent bytes changed across a successful retrain")
+	}
+	if inc.Drift().DriftedCount() != 0 {
+		t.Fatal("drifted batch should have been consumed")
+	}
+}
+
+// TestValidationRejectKeepsIncumbent arms an impossible gate (margin -2:
+// the candidate must beat the incumbent by 2 on scores that live in [0,1])
+// and proves a rejected candidate is discarded without any publish and
+// without touching the incumbent.
+func TestValidationRejectKeepsIncumbent(t *testing.T) {
+	inc := fixture(t)
+	primeDrift(t, inc, 3)
+	incBefore := mustBytes(t, inc)
+
+	cfg := testCfg()
+	cfg.ValidateMargin = -2
+	cfg.MaxAttempts = 1
+	h := newHost(inc)
+	c := New(cfg, h.hooks())
+	c.Start()
+	defer c.Close()
+	if err := c.Force(); err != nil {
+		t.Fatal(err)
+	}
+
+	st := waitStatus(t, c, 2*time.Minute, func(st Status) bool {
+		return st.ValidationRejects == 1
+	})
+	if st.Swaps != 0 {
+		t.Fatalf("swaps = %d, want 0", st.Swaps)
+	}
+	if st.LastGate == nil || st.LastGate.Passed {
+		t.Fatalf("gate should have failed: %+v", st.LastGate)
+	}
+	if h.publishCount() != 0 {
+		t.Fatalf("rejected candidate was published %d times", h.publishCount())
+	}
+	if h.incumbent() != inc {
+		t.Fatal("incumbent pointer changed")
+	}
+	if !bytes.Equal(incBefore, mustBytes(t, inc)) {
+		t.Fatal("incumbent bytes changed across a rejected retrain")
+	}
+	// MaxAttempts 1: the batch is discarded after the single reject.
+	waitStatus(t, c, 5*time.Second, func(st Status) bool {
+		return st.LastOutcome == "gave_up" && st.PendingDrifted == 0
+	})
+}
+
+// TestRollbackRestoresIncumbentByteIdentical swaps a candidate in, then
+// reports a quality regression; the controller must republish the retained
+// incumbent, byte-identical to its pre-swap snapshot, and discard the batch.
+func TestRollbackRestoresIncumbentByteIdentical(t *testing.T) {
+	inc := fixture(t)
+	primeDrift(t, inc, 3)
+	incBefore := mustBytes(t, inc)
+
+	h := newHost(inc)
+	// Pre-swap baseline: healthy (p95 0.05 over 10 audits). After the swap
+	// the probe reports fresh evidence with a much worse p95 — a regression
+	// beyond the 0.10 default.
+	h.setQuality(func() (float64, int64, bool) { return 0.05, 10, true })
+
+	cfg := testCfg()
+	cfg.RollbackWindow = 2 * time.Second
+	c := New(cfg, h.hooks())
+	c.Start()
+	defer c.Close()
+	if err := c.Force(); err != nil {
+		t.Fatal(err)
+	}
+
+	waitStatus(t, c, 2*time.Minute, func(st Status) bool { return st.Swaps == 1 })
+	h.setQuality(func() (float64, int64, bool) { return 0.5, 20, true })
+
+	st := waitStatus(t, c, 10*time.Second, func(st Status) bool { return st.Rollbacks == 1 })
+	if st.LastOutcome != "rolled_back" {
+		t.Fatalf("last outcome %q, want rolled_back", st.LastOutcome)
+	}
+	if h.incumbent() != inc {
+		t.Fatal("rollback did not restore the incumbent pointer")
+	}
+	if h.publishCount() != 2 {
+		t.Fatalf("publishes = %d, want 2 (swap + rollback)", h.publishCount())
+	}
+	if !bytes.Equal(incBefore, mustBytes(t, inc)) {
+		t.Fatal("restored incumbent is not byte-identical to its pre-swap state")
+	}
+	if st.PendingDrifted != 0 {
+		t.Fatalf("rolled-back batch still pending: %d", st.PendingDrifted)
+	}
+}
+
+// TestFaultsFailAttemptAndBackOff injects a deterministic error at every
+// retrain stage in turn (clone, train, validate, swap) plus a panic, and
+// proves each failure leaves the incumbent untouched and unpublished while
+// the backoff arms and the attempt budget eventually discards the batch.
+func TestFaultsFailAttemptAndBackOff(t *testing.T) {
+	points := []struct {
+		point string
+		kind  faults.Kind
+	}{
+		{faults.PointRetrainClone, faults.KindError},
+		{faults.PointRetrainTrain, faults.KindError},
+		{faults.PointRetrainValidate, faults.KindError},
+		{faults.PointRetrainSwap, faults.KindError},
+		{faults.PointRetrainTrain, faults.KindPanic},
+	}
+	for _, tc := range points {
+		t.Run(tc.point+"/"+tc.kind.String(), func(t *testing.T) {
+			inc := fixture(t)
+			primeDrift(t, inc, 3)
+			incBefore := mustBytes(t, inc)
+
+			sched := faults.NewSchedule(1, faults.Injection{Point: tc.point, Kind: tc.kind})
+			faults.Enable(sched)
+			t.Cleanup(faults.Disable)
+
+			cfg := testCfg()
+			cfg.MaxAttempts = 2
+			h := newHost(inc)
+			c := New(cfg, h.hooks())
+			c.Start()
+			defer c.Close()
+			if err := c.Force(); err != nil {
+				t.Fatal(err)
+			}
+
+			st := waitStatus(t, c, 2*time.Minute, func(st Status) bool {
+				return st.Failures == 1
+			})
+			if st.Swaps != 0 {
+				t.Fatalf("swaps = %d, want 0", st.Swaps)
+			}
+			if h.publishCount() != 0 {
+				t.Fatalf("failed attempt published %d systems", h.publishCount())
+			}
+			if h.incumbent() != inc {
+				t.Fatal("incumbent pointer changed under fault")
+			}
+			if !bytes.Equal(incBefore, mustBytes(t, inc)) {
+				t.Fatalf("incumbent bytes changed across a failed attempt at %s", tc.point)
+			}
+			// The batch is retained for the next attempt (budget not yet
+			// exhausted) and the backoff is armed.
+			if st.PendingDrifted == 0 {
+				t.Fatal("drift batch dropped before the attempt budget was exhausted")
+			}
+		})
+	}
+}
+
+// TestAttemptBudgetExhaustionDiscardsBatch forces repeated failures until
+// MaxAttempts is hit and checks the batch is dropped with outcome gave_up.
+func TestAttemptBudgetExhaustionDiscardsBatch(t *testing.T) {
+	inc := fixture(t)
+	primeDrift(t, inc, 3)
+
+	sched := faults.NewSchedule(1, faults.Injection{Point: faults.PointRetrainClone, Kind: faults.KindError})
+	faults.Enable(sched)
+	t.Cleanup(faults.Disable)
+
+	cfg := testCfg()
+	cfg.MaxAttempts = 2
+	h := newHost(inc)
+	c := New(cfg, h.hooks())
+	c.Start()
+	defer c.Close()
+
+	for i := 0; i < cfg.MaxAttempts; i++ {
+		want := int64(i + 1)
+		if err := c.Force(); err != nil {
+			t.Fatal(err)
+		}
+		waitStatus(t, c, 30*time.Second, func(st Status) bool { return st.Failures == want })
+	}
+	st := waitStatus(t, c, 5*time.Second, func(st Status) bool {
+		return st.LastOutcome == "gave_up"
+	})
+	if st.PendingDrifted != 0 {
+		t.Fatalf("batch still pending after budget exhaustion: %d", st.PendingDrifted)
+	}
+	if st.AttemptsThisBatch != 0 {
+		t.Fatalf("attempt counter not reset: %d", st.AttemptsThisBatch)
+	}
+}
+
+// TestSnapshotPersistedBeforeSwap sets SnapshotPath and checks the candidate
+// snapshot is on disk, loadable, and identical to the published system.
+func TestSnapshotPersistedBeforeSwap(t *testing.T) {
+	inc := fixture(t)
+	primeDrift(t, inc, 3)
+
+	cfg := testCfg()
+	cfg.SnapshotPath = t.TempDir() + "/candidate.asqp"
+	h := newHost(inc)
+	c := New(cfg, h.hooks())
+	c.Start()
+	defer c.Close()
+	if err := c.Force(); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, 2*time.Minute, func(st Status) bool {
+		return st.Swaps == 1 && st.State == "idle"
+	})
+
+	loaded, err := core.LoadFile(inc.DB(), cfg.SnapshotPath)
+	if err != nil {
+		t.Fatalf("persisted candidate does not load: %v", err)
+	}
+	pub := h.incumbent()
+	if loaded.Set().Size() != pub.Set().Size() {
+		t.Fatalf("persisted set size %d != published %d", loaded.Set().Size(), pub.Set().Size())
+	}
+	for _, id := range pub.Set().IDs() {
+		if !loaded.Set().Contains(id) {
+			t.Fatalf("persisted snapshot missing %v", id)
+		}
+	}
+	if loaded.Stats().FineTunes != pub.Stats().FineTunes {
+		t.Fatalf("persisted FineTunes %d != published %d", loaded.Stats().FineTunes, pub.Stats().FineTunes)
+	}
+}
+
+// TestForceWithoutDrift reports a clean no_drift outcome instead of spinning.
+func TestForceWithoutDrift(t *testing.T) {
+	inc := fixture(t)
+	h := newHost(inc)
+	c := New(testCfg(), h.hooks())
+	c.Start()
+	defer c.Close()
+	if err := c.Force(); err != nil {
+		t.Fatal(err)
+	}
+	st := waitStatus(t, c, 10*time.Second, func(st Status) bool {
+		return st.LastOutcome == "no_drift"
+	})
+	if st.Attempts != 0 {
+		t.Fatalf("no-drift force should not count an attempt, got %d", st.Attempts)
+	}
+	if h.publishCount() != 0 {
+		t.Fatalf("no-drift force published %d systems", h.publishCount())
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -120,4 +121,102 @@ func BenchmarkServeLoad(b *testing.B) {
 			b.ReportMetric(float64(shed)/float64(total), "shed_rate")
 		})
 	}
+}
+
+// BenchmarkHotSwapUnderLoad measures what a hot swap costs the clients that
+// live through it: closed-loop load at exactly admission capacity (so nothing
+// is shed structurally), one SetSystem swap halfway through, p99 latency
+// reported separately for answers from the pre-swap and post-swap generation.
+// The invariant the retrain design promises — zero dropped requests across
+// the swap — is asserted, not just measured: any non-200 fails the benchmark.
+func BenchmarkHotSwapUnderLoad(b *testing.B) {
+	sys := trainedSystem(b)
+	cand, err := sys.Clone()
+	if err != nil {
+		b.Fatal(err)
+	}
+	faults.Enable(faults.NewSchedule(1, faults.Injection{
+		Point:   faults.PointEngineScan,
+		Kind:    faults.KindLatency,
+		Latency: 5 * time.Millisecond,
+	}))
+	defer faults.Disable()
+
+	const clients = 8
+	srv := New(sys, Config{
+		Addr:           "localhost:0",
+		MaxInFlight:    clients, // capacity == offered load: no structural shed
+		QueueDepth:     clients,
+		DefaultTimeout: 2 * time.Second,
+		DrainTimeout:   10 * time.Second,
+	})
+	addr, err := srv.Start()
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		_ = srv.Shutdown(ctx)
+	}()
+	benchClient := &http.Client{Transport: &http.Transport{
+		MaxIdleConnsPerHost: clients * 2,
+	}}
+	defer benchClient.CloseIdleConnections()
+	base := "http://" + addr
+
+	var (
+		mu        sync.Mutex
+		pre, post []time.Duration
+		dropped   int
+		completed atomic.Int64
+		swapped   atomic.Bool
+	)
+	perClient := b.N/clients + 1
+	b.ResetTimer()
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perClient; i++ {
+				t0 := time.Now()
+				status, resp, err := tryPostQueryWith(benchClient, base, approxRouteSQL, 0, 0)
+				lat := time.Since(t0)
+				if completed.Add(1) >= int64(b.N)/2 && swapped.CompareAndSwap(false, true) {
+					srv.SetSystem(cand)
+				}
+				mu.Lock()
+				switch {
+				case err != nil || status != http.StatusOK:
+					dropped++
+				case resp.Generation <= 1:
+					pre = append(pre, lat)
+				default:
+					post = append(post, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	b.StopTimer()
+
+	if dropped > 0 {
+		b.Fatalf("%d requests dropped across the hot swap; the swap must be invisible", dropped)
+	}
+	p99 := func(ls []time.Duration) float64 {
+		if len(ls) == 0 {
+			return 0
+		}
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		return float64(ls[len(ls)*99/100].Microseconds()) / 1000
+	}
+	p99Pre, p99Post := p99(pre), p99(post)
+	b.ReportMetric(p99Pre, "p99_pre_ms")
+	b.ReportMetric(p99Post, "p99_post_ms")
+	if len(pre) > 0 && len(post) > 0 {
+		b.ReportMetric(p99Post-p99Pre, "p99_delta_ms")
+	}
+	b.ReportMetric(float64(dropped), "dropped")
 }

@@ -19,7 +19,7 @@ import (
 )
 
 // mustParse parses sql or fails the test.
-func mustParse(t *testing.T, sql string) *sqlparse.Select {
+func mustParse(t testing.TB, sql string) *sqlparse.Select {
 	t.Helper()
 	stmt, err := sqlparse.Parse(sql)
 	if err != nil {

@@ -26,6 +26,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -33,6 +34,7 @@ import (
 	"asqprl/internal/core"
 	"asqprl/internal/engine"
 	"asqprl/internal/obs"
+	"asqprl/internal/retrain"
 	"asqprl/internal/sqlparse"
 	"asqprl/internal/table"
 )
@@ -91,6 +93,10 @@ type Config struct {
 	// synthetic traffic cannot poison the fine-tuning signal; asqp-serve
 	// enables it by default via -drift-observe.
 	DriftObserve bool
+	// Retrain configures the drift-triggered background retraining
+	// controller (internal/retrain). Disabled unless Retrain.Enabled; it
+	// usually wants DriftObserve on too, or only forced retrains ever fire.
+	Retrain retrain.Config
 }
 
 func (c Config) normalize() Config {
@@ -137,11 +143,17 @@ func (c Config) normalize() Config {
 // or later via SetSystem — readiness is gated on it), Start, and eventually
 // Shutdown.
 type Server struct {
-	cfg Config
-	sys atomic.Pointer[core.System]
-	adm *admission
-	brk *breaker
-	aud *audit.Auditor // nil when AuditSample is 0 — the hot path stays free
+	cfg  Config
+	live atomic.Pointer[liveSystem]
+	adm  *admission
+	brk  *breaker
+	aud  *audit.Auditor // nil when AuditSample is 0 — the hot path stays free
+	ret  *retrain.Controller
+
+	// pubMu serializes SetSystem publishes so generation numbers are strictly
+	// monotonic even when a swap and a rollback race with an operator reload.
+	pubMu sync.Mutex
+	gen   int64
 
 	httpSrv    *http.Server
 	ln         net.Listener
@@ -151,6 +163,15 @@ type Server struct {
 	started    atomic.Bool
 	serveErr   error
 	done       chan struct{}
+}
+
+// liveSystem pairs the served system with its publish generation. Responses
+// carry the generation so a client (or a chaos test) can prove which system
+// produced an answer across a hot swap — every response comes from exactly
+// one generation, never a blend.
+type liveSystem struct {
+	sys *core.System
+	gen int64
 }
 
 // New builds a server around sys (which may be nil: the server then reports
@@ -165,7 +186,7 @@ func New(sys *core.System, cfg Config) *Server {
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if sys != nil {
-		s.sys.Store(sys)
+		s.SetSystem(sys)
 	}
 	// The shadow auditor borrows spare capacity, never admission slots: its
 	// gate denies work while draining, while the breaker is not closed (the
@@ -175,7 +196,7 @@ func New(sys *core.System, cfg Config) *Server {
 	// never be shed by an audit.
 	s.aud = audit.New(
 		func() (*table.Database, int) {
-			sys := s.sys.Load()
+			sys, _ := s.System()
 			if sys == nil {
 				return nil, 0
 			}
@@ -199,14 +220,51 @@ func New(sys *core.System, cfg Config) *Server {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
 	}
+	if cfg.Retrain.Enabled {
+		s.ret = retrain.New(cfg.Retrain, retrain.Hooks{
+			Incumbent: func() *core.System {
+				sys, _ := s.System()
+				return sys
+			},
+			Publish: s.SetSystem,
+			Quality: s.aud.WorstShapeP95,
+		})
+		s.ret.Start()
+	}
 	return s
 }
 
 // SetSystem attaches (or replaces) the system and flips the server ready.
-func (s *Server) SetSystem(sys *core.System) { s.sys.Store(sys) }
+// Each publish gets the next generation number; in-flight queries finish on
+// the system they loaded, new ones see the replacement — the swap itself is
+// one atomic pointer store, so no request is ever dropped or blended.
+func (s *Server) SetSystem(sys *core.System) {
+	s.pubMu.Lock()
+	s.gen++
+	gen := s.gen
+	s.live.Store(&liveSystem{sys: sys, gen: gen})
+	s.pubMu.Unlock()
+	if obs.Enabled() {
+		obs.Default().Gauge("server/generation").Set(float64(gen))
+	}
+}
+
+// System returns the live system (nil before any SetSystem) and its publish
+// generation.
+func (s *Server) System() (*core.System, int64) {
+	ls := s.live.Load()
+	if ls == nil {
+		return nil, 0
+	}
+	return ls.sys, ls.gen
+}
+
+// Retrain exposes the background retraining controller (nil when disabled);
+// tests use it to force attempts and read status without HTTP.
+func (s *Server) Retrain() *retrain.Controller { return s.ret }
 
 // Ready reports whether the server would pass a readiness probe.
-func (s *Server) Ready() bool { return s.sys.Load() != nil && !s.draining.Load() }
+func (s *Server) Ready() bool { return s.live.Load() != nil && !s.draining.Load() }
 
 // Handler returns the HTTP handler (also used directly by tests).
 func (s *Server) Handler() http.Handler {
@@ -216,6 +274,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/qualityz", s.handleQualityz)
+	mux.HandleFunc("/retrainz", s.handleRetrainz)
 	return mux
 }
 
@@ -256,6 +315,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		obs.Default().Counter("server/drains").Inc()
 	}
 	obs.Logger().Info("drain started", "inflight", s.adm.inFlight())
+	// Stop the retraining controller first: it cancels any in-flight
+	// fine-tune, and no new swap can land mid-drain. A candidate already
+	// published stays published; Close never un-publishes.
+	s.ret.Close()
 	if !s.started.Load() {
 		s.baseCancel()
 		s.aud.Close()
@@ -327,6 +390,10 @@ type QueryResponse struct {
 	// answers shaped like this one — honest uncertainty from ground truth,
 	// not a model prediction. A pointer so a measured 0.0 still serializes.
 	ObservedError *float64 `json:"observed_error,omitempty"`
+	// Generation is the publish generation of the system that answered (1 for
+	// the system the server started with, bumped by every hot swap or
+	// rollback). An answer is produced by exactly one generation.
+	Generation int64 `json:"generation,omitempty"`
 }
 
 // handleQuery runs one query through admission control, breaker routing, and
@@ -359,12 +426,13 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, span, http.StatusServiceUnavailable, start, "draining", true)
 		return
 	}
-	sys := s.sys.Load()
+	sys, gen := s.System()
 	if sys == nil {
 		span.Event("shed", "cause", "not_ready")
 		s.writeErr(w, span, http.StatusServiceUnavailable, start, "not ready: no system loaded", true)
 		return
 	}
+	span.Annotate("generation", gen)
 	req, err := parseQueryRequest(r)
 	if err != nil {
 		s.writeErr(w, span, http.StatusBadRequest, start, err.Error(), false)
@@ -441,6 +509,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		DegradedReason: res.DegradedReason,
 		PredictedScore: res.PredictedScore,
 		Confidence:     res.Confidence,
+		Generation:     gen,
 	}
 	if span != nil {
 		resp.TraceID = span.TraceID().String()
@@ -502,7 +571,7 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
 		s.writeJSON(w, http.StatusServiceUnavailable, time.Now(), map[string]string{"status": "draining"})
-	case s.sys.Load() == nil:
+	case s.live.Load() == nil:
 		s.writeJSON(w, http.StatusServiceUnavailable, time.Now(), map[string]string{"status": "loading"})
 	default:
 		s.writeJSON(w, http.StatusOK, time.Now(), map[string]string{"status": "ready"})
@@ -525,6 +594,11 @@ type Stats struct {
 	// drift detector since the last fine-tune.
 	Quality        audit.Summary `json:"quality"`
 	DriftedQueries int           `json:"drifted_queries"`
+	// Generation is the publish generation of the live system; Retrain is
+	// the background retraining controller's status (State "disabled" when
+	// the controller is off).
+	Generation int64          `json:"generation"`
+	Retrain    retrain.Status `json:"retrain"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -537,8 +611,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueueDepth:   s.cfg.QueueDepth,
 		BreakerState: s.brk.currentState().String(),
 		Quality:      s.aud.Stats(),
+		Retrain:      s.ret.Status(),
 	}
-	if sys := s.sys.Load(); sys != nil {
+	if sys, gen := s.System(); sys != nil {
+		st.Generation = gen
 		if sys.Set() != nil {
 			st.SetSize = sys.Set().Size()
 		}
@@ -549,13 +625,45 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.writeJSON(w, http.StatusOK, time.Now(), st)
 }
 
+// RetrainzPage is the /retrainz payload: the controller status plus the live
+// generation, so one poll answers both "did a swap happen" and "which
+// generation is serving".
+type RetrainzPage struct {
+	Generation int64          `json:"generation"`
+	Status     retrain.Status `json:"status"`
+}
+
+// handleRetrainz serves the retraining controller status; ?force=1 requests
+// an immediate retrain attempt, bypassing the drift-count threshold and any
+// backoff (409 when the controller is disabled or closed). The endpoint is
+// always mounted so dashboards can probe capability.
+func (s *Server) handleRetrainz(w http.ResponseWriter, r *http.Request) {
+	if v := r.URL.Query().Get("force"); v != "" {
+		on, err := strconv.ParseBool(v)
+		if err != nil {
+			s.writeJSON(w, http.StatusBadRequest, time.Now(),
+				map[string]string{"error": fmt.Sprintf("bad force %q", v)})
+			return
+		}
+		if on {
+			if err := s.ret.Force(); err != nil {
+				s.writeJSON(w, http.StatusConflict, time.Now(),
+					map[string]string{"error": err.Error()})
+				return
+			}
+		}
+	}
+	_, gen := s.System()
+	s.writeJSON(w, http.StatusOK, time.Now(), RetrainzPage{Generation: gen, Status: s.ret.Status()})
+}
+
 // handleQualityz serves the /qualityz debug page: the audit rollup, every
 // audited query shape sorted worst-p95 first, and the drift-detector status.
 // The endpoint is always mounted; with auditing disabled it reports
 // audit.enabled false so dashboards can probe capability.
 func (s *Server) handleQualityz(w http.ResponseWriter, r *http.Request) {
 	var drift *audit.DriftStatus
-	if sys := s.sys.Load(); sys != nil {
+	if sys, _ := s.System(); sys != nil {
 		if d := sys.Drift(); d != nil {
 			drift = &audit.DriftStatus{
 				Enabled:   s.cfg.DriftObserve,

@@ -38,8 +38,18 @@ go test -race -timeout 5m -count=1 \
 # Serving gate: the HTTP layer's admission control, circuit breaker, drain,
 # and chaos tests (concurrent clients + fault injection) must stay race-free.
 # -count=1 defeats the cache so the goroutine-leak checks rerun every time.
+# The hot-swap chaos tests (zero-downtime swap under load, retrain faults
+# leaving the incumbent byte-identical, retrain under 4x overload) live here
+# too and run as part of this gate.
 echo "==> serving gate: internal/server under -race"
 go test -race -count=1 -timeout 5m ./internal/server/
+
+# Retrain gate: the drift-triggered background retraining controller — clone
+# isolation, validation gate, atomic swap, rollback, backoff/budget — under
+# the race detector, including the seeded fault-injection sweep over the four
+# retrain/* points. Seeds are fixed inside the tests.
+echo "==> retrain gate: internal/retrain under -race"
+go test -race -count=1 -timeout 5m ./internal/retrain/
 
 # Bench smoke: the Fig2 benches cover the scoring hot loop (serial vs
 # parallel vs reference-cached) plus the end-to-end Figure 2 harness; pass
@@ -53,6 +63,13 @@ go test -bench=Fig2 -benchtime=1x -run='^$' "$@" ./... |
 # recording throughput, p50/p99 latency, and shed rate.
 echo "==> go test -bench=ServeLoad ./internal/server/  (-> ${bench_out})"
 go test -bench=ServeLoad -benchtime=200x -run='^$' ./internal/server/ |
+	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
+
+# Hot-swap bench: closed-loop load at exactly admission capacity with one
+# SetSystem swap mid-run; records p99 before/after the swap and the delta,
+# and fails outright if any request is dropped across the swap.
+echo "==> go test -bench=HotSwapUnderLoad ./internal/server/  (-> ${bench_out})"
+go test -bench=HotSwapUnderLoad -benchtime=200x -run='^$' ./internal/server/ |
 	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
 
 # Trace-export overhead: ns per exported span tree and per ring add, recorded
@@ -74,25 +91,35 @@ go test -bench=AuditDisabledOverhead -benchtime=100000x -run='^$' ./internal/aud
 # response is malformed — including a malformed observed_error field — and
 # the -quality flag makes loadgen validate the /qualityz audit rollup after
 # the run (auditing runs at full sampling here, so the gate exercises the
-# shadow-audit path end to end). The binary is built and exec'd directly (not
-# `go run`) so the recorded pid is the server itself and the TERM below
-# actually exercises — and completes — the graceful drain.
-echo "==> loadgen smoke: asqp-serve + asqp-loadgen  (-> ${bench_out})"
+# shadow-audit path end to end). The drift-storm scenario shifts the query
+# mix halfway through; with retraining armed (and the drift threshold
+# lowered so the storm registers) loadgen then waits for the controller to
+# either hot-swap a fine-tuned candidate or back off cleanly, so the gate
+# exercises drift → retrain → validate → swap end to end. The binary is
+# built and exec'd directly (not `go run`) so the recorded pid is the server
+# itself and the TERM below actually exercises — and completes — the
+# graceful drain.
+echo "==> loadgen smoke: asqp-serve + asqp-loadgen (drift-storm)  (-> ${bench_out})"
 serve_port=18479
 serve_bin="$(mktemp -t asqp-serve.XXXXXX)"
 trace_dir="$(mktemp -d -t asqp-traces.XXXXXX)"
+snap_file="$(mktemp -t asqp-snap.XXXXXX)"
 go build -o "${serve_bin}" ./cmd/asqp-serve
 "${serve_bin}" -addr "localhost:${serve_port}" -scale 0.02 -k 150 -light \
 	-trace-dir "${trace_dir}" -trace-sample 1 \
 	-audit-sample 1 -quality-slo-p95 0.5 \
+	-drift-confidence 0.15 \
+	-retrain -retrain-interval 500ms -retrain-validate-margin 0.5 \
+	-retrain-rollback-window 2s -save "${snap_file}" \
 	-log warn >/dev/null &
 serve_pid=$!
-trap 'kill "${serve_pid}" 2>/dev/null || true; rm -f "${serve_bin}"; rm -rf "${trace_dir}"' EXIT
+trap 'kill "${serve_pid}" 2>/dev/null || true; rm -f "${serve_bin}" "${snap_file}"; rm -rf "${trace_dir}"' EXIT
 go run ./cmd/asqp-loadgen -url "http://localhost:${serve_port}" \
-	-clients 8 -duration 3s -label LoadgenSmoke -quality -json "${bench_out}"
+	-clients 8 -duration 6s -scenario drift-storm -retrain-wait 90s \
+	-label LoadgenSmoke -quality -json "${bench_out}"
 kill -TERM "${serve_pid}" 2>/dev/null || true
 wait "${serve_pid}" 2>/dev/null || true
-rm -f "${serve_bin}"
+rm -f "${serve_bin}" "${snap_file}"
 
 # Tracing gate: the smoke run above exported every trace (sample rate 1, with
 # the loadgen stamping a traceparent on each request). The export must parse
