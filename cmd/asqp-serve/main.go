@@ -62,6 +62,7 @@ func main() {
 	breakerTrips := flag.Int("breaker-trips", 5, "consecutive full-DB guard trips that open the circuit breaker")
 	breakerCooldown := flag.Duration("breaker-cooldown", 500*time.Millisecond, "initial breaker open duration (doubles per failed probe)")
 	parallelism := flag.Int("parallelism", 0, "per-query execution workers (0 = one per CPU, <0 = serial)")
+	rowEngine := flag.Bool("row-engine", false, "serve queries with the legacy row-at-a-time engine instead of the columnar one (results are identical; escape hatch / A-B measurement)")
 	debugAddr := flag.String("debug-addr", "", "serve /metrics, /spans, /tracez and /debug/pprof on this address")
 	logLevel := flag.String("log", "info", "structured log level on stderr (debug, info, warn, error, off)")
 	traceDir := flag.String("trace-dir", "", "export tail-sampled traces as rotated JSONL files in this directory")
@@ -166,7 +167,7 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
 	defer stop()
 
-	sys, err := buildSystem(ctx, *dataset, *dataDir, *workloadFile, *loadFile, *scale, *seed, *k, *frame, *light, *parallelism, *driftConfidence, *driftCount)
+	sys, err := buildSystem(ctx, *dataset, *dataDir, *workloadFile, *loadFile, *scale, *seed, *k, *frame, *light, *parallelism, *rowEngine, *driftConfidence, *driftCount)
 	if err != nil {
 		fatal(err)
 	}
@@ -214,7 +215,7 @@ func main() {
 }
 
 // buildSystem loads a snapshot or trains from scratch, honoring cancellation.
-func buildSystem(ctx context.Context, dataset, dataDir, workloadFile, loadFile string, scale float64, seed int64, k, frame int, light bool, parallelism int, driftConfidence float64, driftCount int) (*core.System, error) {
+func buildSystem(ctx context.Context, dataset, dataDir, workloadFile, loadFile string, scale float64, seed int64, k, frame int, light bool, parallelism int, rowEngine bool, driftConfidence float64, driftCount int) (*core.System, error) {
 	db, err := loadDB(dataset, dataDir, scale, seed)
 	if err != nil {
 		return nil, err
@@ -241,6 +242,7 @@ func buildSystem(ctx context.Context, dataset, dataDir, workloadFile, loadFile s
 	cfg.F = frame
 	cfg.Seed = seed
 	cfg.Parallelism = parallelism
+	cfg.RowEngine = rowEngine
 	if driftConfidence > 0 {
 		cfg.DriftConfidence = driftConfidence
 	}

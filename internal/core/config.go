@@ -107,6 +107,12 @@ type Config struct {
 	// change any result — engine operators merge in input order and scoring
 	// is per-query independent — only wall-clock.
 	Parallelism int
+	// RowEngine forces query serving onto the legacy row-at-a-time execution
+	// engine instead of the default columnar (vectorized) one. Results are
+	// byte-identical either way — the columnar engine is a pure performance
+	// change — so this exists only as an escape hatch and for A/B
+	// measurement.
+	RowEngine bool
 	// Seed drives every random choice for reproducibility.
 	Seed int64
 }

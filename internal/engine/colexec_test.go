@@ -1,0 +1,134 @@
+package engine
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"asqprl/internal/obs"
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+)
+
+// TestMorselsSkippedCounter pins the zone-map pruning telemetry: on a sorted
+// column, a selective range predicate must skip exactly the morsels whose
+// zone cannot satisfy it, and the engine/morsels_skipped counter must record
+// them (only when observability is enabled, and never on the row engine,
+// which has no zones).
+func TestMorselsSkippedCounter(t *testing.T) {
+	prev := obs.Enabled()
+	defer obs.SetEnabled(prev)
+
+	tbl := table.New("sorted", table.Schema{{Name: "v", Kind: table.KindInt}})
+	n := 8 * table.ZoneChunkRows
+	for i := 0; i < n; i++ {
+		tbl.AppendRow(table.Row{table.NewInt(int64(i))})
+	}
+	db := table.NewDatabase()
+	db.Add(tbl)
+	// Chunks 0..5 top out at 6*ZoneChunkRows-1 < 7000 ≤ values in chunk 6, so
+	// exactly 6 of the 8 morsels are prunable.
+	stmt := sqlparse.MustParse("SELECT * FROM sorted WHERE v >= 7000")
+
+	obs.SetEnabled(true)
+	obs.Default().Reset()
+	res, err := ExecuteWith(db, stmt, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := n - 7000; res.Table.NumRows() != want {
+		t.Fatalf("rows = %d, want %d", res.Table.NumRows(), want)
+	}
+	if skipped := obs.Default().Snapshot().Counters["engine/morsels_skipped"]; skipped != 6 {
+		t.Fatalf("engine/morsels_skipped = %d, want 6", skipped)
+	}
+
+	// The row engine scans every row and must not touch the counter.
+	obs.Default().Reset()
+	if _, err := ExecuteWith(db, stmt, Options{UseRowEngine: true}); err != nil {
+		t.Fatal(err)
+	}
+	if skipped := obs.Default().Snapshot().Counters["engine/morsels_skipped"]; skipped != 0 {
+		t.Fatalf("row engine recorded %d skipped morsels", skipped)
+	}
+
+	// Disabled observability records nothing even though pruning still runs.
+	obs.SetEnabled(false)
+	obs.Default().Reset()
+	if _, err := ExecuteWith(db, stmt, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if skipped := obs.Default().Snapshot().Counters["engine/morsels_skipped"]; skipped != 0 {
+		t.Fatalf("disabled observability recorded %d skipped morsels", skipped)
+	}
+	obs.Default().Reset()
+}
+
+// TestColumnarCountFastPath checks that CountContext — which takes the
+// count-only columnar path that materializes no output columns — agrees with
+// the row engine on filter, join, and unfiltered shapes.
+func TestColumnarCountFastPath(t *testing.T) {
+	db := testDB()
+	for _, sql := range []string{
+		"SELECT * FROM movies",
+		"SELECT * FROM movies WHERE year > 2000",
+		"SELECT m.title FROM movies m JOIN credits c ON m.id = c.movie_id",
+		"SELECT m.title FROM movies m JOIN credits c ON m.id = c.movie_id WHERE c.role = 'director'",
+	} {
+		stmt := sqlparse.MustParse(sql)
+		rowN, err := CountContext(context.Background(), db, stmt, Options{UseRowEngine: true})
+		if err != nil {
+			t.Fatalf("%s (row): %v", sql, err)
+		}
+		colN, err := CountContext(context.Background(), db, stmt, Options{})
+		if err != nil {
+			t.Fatalf("%s (columnar): %v", sql, err)
+		}
+		if rowN != colN {
+			t.Errorf("%s: row count %d != columnar count %d", sql, rowN, colN)
+		}
+	}
+}
+
+// TestColumnarNaNComparisonParity is the regression test for the NaN corner
+// of the vectorized comparison kernels: Value.Compare treats NaN as equal to
+// everything (it returns 0 when either side is unordered), so the row engine
+// passes NaN through <=, >= and BETWEEN but not <, > — and the kernels plus
+// the zone maps must reproduce that exactly.
+func TestColumnarNaNComparisonParity(t *testing.T) {
+	tbl := table.New("nt", table.Schema{{Name: "f", Kind: table.KindFloat}})
+	tbl.AppendRow(table.Row{table.NewFloat(1)})
+	tbl.AppendRow(table.Row{table.NewFloat(2)})
+	tbl.AppendRow(table.Row{table.NewFloat(math.NaN())})
+	db := table.NewDatabase()
+	db.Add(tbl)
+	for _, tc := range []struct {
+		sql  string
+		want int
+	}{
+		{"SELECT * FROM nt WHERE f >= 5", 1},            // NaN only
+		{"SELECT * FROM nt WHERE f <= 0", 1},            // NaN only
+		{"SELECT * FROM nt WHERE f > 5", 0},             // NaN excluded by strict compare
+		{"SELECT * FROM nt WHERE f < 5", 2},             // 1 and 2, not NaN
+		{"SELECT * FROM nt WHERE f BETWEEN 5 AND 9", 1}, // NaN is BETWEEN everything
+		{"SELECT * FROM nt WHERE f BETWEEN 0 AND 3", 3},
+		{"SELECT * FROM nt WHERE f = 5", 0}, // equality uses Value.Equal: NaN never equal
+		{"SELECT * FROM nt WHERE f <> 5", 3},
+	} {
+		stmt := sqlparse.MustParse(tc.sql)
+		row, err := ExecuteWith(db, stmt, Options{UseRowEngine: true, TrackLineage: true})
+		if err != nil {
+			t.Fatalf("%s (row): %v", tc.sql, err)
+		}
+		col, err := ExecuteWith(db, stmt, Options{TrackLineage: true})
+		if err != nil {
+			t.Fatalf("%s (columnar): %v", tc.sql, err)
+		}
+		if got := row.Table.NumRows(); got != tc.want {
+			t.Errorf("%s: row engine returned %d rows, want %d", tc.sql, got, tc.want)
+		}
+		if rf, cf := resultFingerprint(row), resultFingerprint(col); rf != cf {
+			t.Errorf("%s: columnar diverges from row engine\nrow:\n%s\ncolumnar:\n%s", tc.sql, rf, cf)
+		}
+	}
+}

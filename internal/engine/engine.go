@@ -14,12 +14,16 @@ import (
 
 // Result is the output of executing a statement.
 type Result struct {
-	// Table holds the projected output rows.
+	// Table holds the projected output rows. It is nil only for count-only
+	// execution (see CountContext), where Count carries the answer and no
+	// rows are materialized.
 	Table *table.Table
 	// Lineage, when tracked, holds for each output row the base-table rows
 	// that produced it (one RowID per relation in the FROM/JOIN list).
 	// It is nil for aggregate queries.
 	Lineage [][]table.RowID
+	// Count is the result cardinality for count-only execution (Table nil).
+	Count int
 }
 
 // Options tunes execution.
@@ -41,6 +45,15 @@ type Options struct {
 	// byte-identical for every setting: morsel outputs are merged in input
 	// order, so parallelism changes wall-clock only, never answers.
 	Parallelism int
+	// UseRowEngine forces the legacy row-at-a-time operators instead of the
+	// columnar/vectorized pipeline. The two paths produce byte-identical
+	// results (proven by the differential fuzz harness); this switch exists
+	// as an operational escape hatch and for differential testing.
+	UseRowEngine bool
+	// countOnly asks execution to skip output materialization when the
+	// statement allows it (SPJ without DISTINCT/ORDER BY/LIMIT) and return
+	// only the result cardinality in Result.Count. Set by CountContext.
+	countOnly bool
 }
 
 const defaultMaxIntermediate = 2_000_000
@@ -76,9 +89,13 @@ func Count(db *table.Database, stmt *sqlparse.Select) (int, error) {
 // deadline. Lineage tracking is forced off.
 func CountContext(ctx context.Context, db *table.Database, stmt *sqlparse.Select, opts Options) (int, error) {
 	opts.TrackLineage = false
+	opts.countOnly = true
 	res, err := ExecuteWithContext(ctx, db, stmt, opts)
 	if err != nil {
 		return 0, err
+	}
+	if res.Table == nil {
+		return res.Count, nil
 	}
 	return res.Table.NumRows(), nil
 }
@@ -134,8 +151,12 @@ func ExecuteWithContext(ctx context.Context, db *table.Database, stmt *sqlparse.
 		if b != nil {
 			span.Annotate("plan", planShape(b, preds, stmt))
 		}
-		if res != nil && res.Table != nil {
-			span.Annotate("rows_out", res.Table.NumRows())
+		if res != nil {
+			if res.Table != nil {
+				span.Annotate("rows_out", res.Table.NumRows())
+			} else {
+				span.Annotate("rows_out", res.Count)
+			}
 		}
 		if err != nil {
 			markSpanOutcome(span, err)
@@ -207,9 +228,22 @@ func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *que
 		return nil, b, nil, err
 	}
 	t.phase("plan")
+	if !opts.UseRowEngine {
+		res, err := executeColTail(b, stmt, preds, opts, t, g, span)
+		return res, b, preds, err
+	}
+	res, err := executeRowTail(b, stmt, preds, opts, t, g, span)
+	return res, b, preds, err
+}
+
+// executeRowTail is the legacy row-at-a-time pipeline after planning:
+// scan/join, then aggregate or project, then finish. It remains the reference
+// semantics the columnar path (executeColTail) is differentially tested
+// against.
+func executeRowTail(b *binder, stmt *sqlparse.Select, preds []predClass, opts Options, t *queryTimer, g *guard, span *obs.Span) (*Result, error) {
 	joined, err := runJoins(b, preds, opts, g, span)
 	if err != nil {
-		return nil, b, preds, err
+		return nil, err
 	}
 	t.phase("join")
 
@@ -219,7 +253,7 @@ func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *que
 		if err != nil {
 			markSpanOutcome(aggSpan, err)
 			aggSpan.End()
-			return nil, b, preds, err
+			return nil, err
 		}
 		aggSpan.Annotate("rows_out", out.NumRows())
 		aggSpan.End()
@@ -227,7 +261,7 @@ func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *que
 		res := &Result{Table: out}
 		res, err = finish(b, stmt, res, nil, true)
 		t.phase("finish")
-		return res, b, preds, err
+		return res, err
 	}
 
 	projSpan := span.StartChild("engine/project")
@@ -241,9 +275,9 @@ func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *que
 		// A tripped output budget still carries the rows produced so far;
 		// surface them (un-finished) so callers can serve a tagged partial.
 		if out != nil {
-			return &Result{Table: out, Lineage: lineage}, b, preds, err
+			return &Result{Table: out, Lineage: lineage}, err
 		}
-		return nil, b, preds, err
+		return nil, err
 	}
 	projSpan.Annotate("rows_out", out.NumRows())
 	projSpan.End()
@@ -251,7 +285,7 @@ func executeWith(db *table.Database, stmt *sqlparse.Select, opts Options, t *que
 	res := &Result{Table: out, Lineage: lineage}
 	res, err = finish(b, stmt, res, joined, false)
 	t.phase("finish")
-	return res, b, preds, err
+	return res, err
 }
 
 // classify splits WHERE and ON into per-relation filters, equi-joins and
@@ -403,6 +437,23 @@ func runJoins(b *binder, preds []predClass, opts Options, g *guard, span *obs.Sp
 	return current, nil
 }
 
+// relFilters collects the per-relation filter expressions for rel: its
+// single-relation conjuncts, plus (at relation 0) constant conjuncts, which
+// are applied exactly once per row so errors (e.g. aggregates in WHERE)
+// surface.
+func relFilters(preds []predClass, rel int) []sqlparse.Expr {
+	var filters []sqlparse.Expr
+	for _, p := range preds {
+		if len(p.rels) == 1 && p.rels[0] == rel {
+			filters = append(filters, p.expr)
+		}
+		if len(p.rels) == 0 && rel == 0 {
+			filters = append(filters, p.expr)
+		}
+	}
+	return filters
+}
+
 // scanRelations produces the per-relation filtered candidate row lists (the
 // scan phase of runJoins).
 func scanRelations(b *binder, preds []predClass, opts Options, g *guard) ([][]int32, error) {
@@ -414,55 +465,52 @@ func scanRelations(b *binder, preds []predClass, opts Options, g *guard) ([][]in
 				return nil, err
 			}
 		}
-		var filters []sqlparse.Expr
-		for _, p := range preds {
-			if len(p.rels) == 1 && p.rels[0] == rel {
-				filters = append(filters, p.expr)
-			}
-			// Constant conjuncts (no column references) are applied at the
-			// scan of relation 0 so they are evaluated exactly once per row
-			// and errors (e.g. aggregates in WHERE) surface.
-			if len(p.rels) == 0 && rel == 0 {
-				filters = append(filters, p.expr)
-			}
-		}
-		rows := b.tables[rel].Rows
-		if workers := opts.workers(); workers > 1 && len(rows) >= parallelMinRows {
-			keep, err := scanFilterParallel(b, rel, filters, g, workers)
-			if err != nil {
-				return nil, err
-			}
-			candidates[rel] = keep
-			continue
-		}
-		keep := make([]int32, 0, len(rows))
-		probe := make(joinedRow, n)
-		for i := range probe {
-			probe[i] = -1
-		}
-		for i := range rows {
-			if err := g.tick(1); err != nil {
-				return nil, err
-			}
-			probe[rel] = int32(i)
-			ok := true
-			for _, f := range filters {
-				v, err := evalExpr(f, evalEnv{b: b, row: probe})
-				if err != nil {
-					return nil, err
-				}
-				if v.IsNull() || !truthy(v) {
-					ok = false
-					break
-				}
-			}
-			if ok {
-				keep = append(keep, int32(i))
-			}
+		keep, err := scanRelationRows(b, rel, relFilters(preds, rel), opts, g)
+		if err != nil {
+			return nil, err
 		}
 		candidates[rel] = keep
 	}
 	return candidates, nil
+}
+
+// scanRelationRows filters one relation's rows with per-row expression
+// evaluation, returning kept row indices in row order. It is the reference
+// scan used by the row engine and by the columnar scan whenever a filter does
+// not compile to a vectorized kernel (keeping data-dependent error ordering
+// identical).
+func scanRelationRows(b *binder, rel int, filters []sqlparse.Expr, opts Options, g *guard) ([]int32, error) {
+	rows := b.tables[rel].Rows
+	if workers := opts.workers(); workers > 1 && len(rows) >= parallelMinRows {
+		return scanFilterParallel(b, rel, filters, g, workers)
+	}
+	n := len(b.tables)
+	keep := make([]int32, 0, len(rows))
+	probe := make(joinedRow, n)
+	for i := range probe {
+		probe[i] = -1
+	}
+	for i := range rows {
+		if err := g.tick(1); err != nil {
+			return nil, err
+		}
+		probe[rel] = int32(i)
+		ok := true
+		for _, f := range filters {
+			v, err := evalExpr(f, evalEnv{b: b, row: probe})
+			if err != nil {
+				return nil, err
+			}
+			if v.IsNull() || !truthy(v) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			keep = append(keep, int32(i))
+		}
+	}
+	return keep, nil
 }
 
 // joinStep binds relation rel into the current intermediate rows, using a
@@ -505,14 +553,17 @@ func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []pre
 		}
 	}
 
-	// Build hash table over rel's candidates.
-	build := make(map[string][]int32, len(cand))
-	var kb strings.Builder
+	// Build hash table over rel's candidates. Keys are appended into one
+	// reused byte buffer; the bytes are copied into a map key only once per
+	// distinct key (the bucket is held by pointer), so the per-row string
+	// allocation of Value.Key is gone from this path.
+	build := make(map[string]*[]int32, len(cand))
+	var kb []byte
 	for _, ri := range cand {
 		if err := g.tick(1); err != nil {
 			return nil, err
 		}
-		kb.Reset()
+		kb = kb[:0]
 		null := false
 		for _, kp := range pairs {
 			v := b.tables[rel].Rows[ri][kp.relCol.col]
@@ -520,14 +571,18 @@ func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []pre
 				null = true
 				break
 			}
-			kb.WriteString(v.Key())
-			kb.WriteByte(0x1e)
+			kb = v.AppendKey(kb)
+			kb = append(kb, 0x1e)
 		}
 		if null {
 			continue // NULL never joins
 		}
-		k := kb.String()
-		build[k] = append(build[k], ri)
+		bucket := build[string(kb)]
+		if bucket == nil {
+			bucket = new([]int32)
+			build[string(kb)] = bucket
+		}
+		*bucket = append(*bucket, ri)
 	}
 
 	// Probe phase: the build table is read-only from here, so the probe over
@@ -538,7 +593,7 @@ func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []pre
 
 	out := make([]joinedRow, 0, len(current))
 	for _, jr := range current {
-		kb.Reset()
+		kb = kb[:0]
 		null := false
 		for _, kp := range pairs {
 			ri := jr[kp.boundBind.rel]
@@ -547,22 +602,24 @@ func joinStep(b *binder, current []joinedRow, cand []int32, rel int, joins []pre
 				null = true
 				break
 			}
-			kb.WriteString(v.Key())
-			kb.WriteByte(0x1e)
+			kb = v.AppendKey(kb)
+			kb = append(kb, 0x1e)
 		}
 		if null {
 			continue
 		}
-		for _, ri := range build[kb.String()] {
-			if err := g.tick(1); err != nil {
-				return nil, err
-			}
-			nr := make(joinedRow, len(jr))
-			copy(nr, jr)
-			nr[rel] = ri
-			out = append(out, nr)
-			if len(out) > opts.MaxIntermediateRows {
-				return nil, fmt.Errorf("%w: join intermediate exceeds limit %d rows", ErrRowBudget, opts.MaxIntermediateRows)
+		if bucket := build[string(kb)]; bucket != nil {
+			for _, ri := range *bucket {
+				if err := g.tick(1); err != nil {
+					return nil, err
+				}
+				nr := make(joinedRow, len(jr))
+				copy(nr, jr)
+				nr[rel] = ri
+				out = append(out, nr)
+				if len(out) > opts.MaxIntermediateRows {
+					return nil, fmt.Errorf("%w: join intermediate exceeds limit %d rows", ErrRowBudget, opts.MaxIntermediateRows)
+				}
 			}
 		}
 	}
@@ -707,7 +764,8 @@ func inferKind(b *binder, e sqlparse.Expr) table.Kind {
 
 // finish applies DISTINCT, ORDER BY and LIMIT to a result.
 func finish(b *binder, stmt *sqlparse.Select, res *Result, joined []joinedRow, isAgg bool) (*Result, error) {
-	// DISTINCT.
+	// DISTINCT. Row keys are built in one reused buffer; the map only copies
+	// the bytes for keys seen the first time.
 	if stmt.Distinct {
 		seen := make(map[string]bool, res.Table.NumRows())
 		keepRows := res.Table.Rows[:0]
@@ -719,12 +777,13 @@ func finish(b *binder, stmt *sqlparse.Select, res *Result, joined []joinedRow, i
 		if joined != nil {
 			keepJoined = joined[:0]
 		}
+		var kb []byte
 		for i, r := range res.Table.Rows {
-			k := r.Key()
-			if seen[k] {
+			kb = r.AppendKey(kb[:0])
+			if seen[string(kb)] {
 				continue
 			}
-			seen[k] = true
+			seen[string(kb)] = true
 			keepRows = append(keepRows, r)
 			if res.Lineage != nil {
 				keepLineage = append(keepLineage, res.Lineage[i])

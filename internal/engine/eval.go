@@ -101,14 +101,26 @@ func (b *binder) bindExpr(e sqlparse.Expr) error {
 // per relation, -1 for relations not yet joined.
 type joinedRow []int32
 
-// evalEnv supplies column values for expression evaluation over a joined row.
+// evalEnv supplies column values for expression evaluation over either a
+// joined row (row engine) or one tuple of a joinedBatch (columnar engine,
+// batch + idx set). Exactly one of row/batch is set; with neither, every
+// column reads as NULL (used for constant-only evaluation).
 type evalEnv struct {
-	b   *binder
-	row joinedRow
+	b     *binder
+	row   joinedRow
+	batch *joinedBatch
+	idx   int
 }
 
 func (e evalEnv) value(bd binding) table.Value {
-	ri := e.row[bd.rel]
+	var ri int32 = -1
+	if e.batch != nil {
+		if c := e.batch.cols[bd.rel]; c != nil {
+			ri = c[e.idx]
+		}
+	} else if e.row != nil {
+		ri = e.row[bd.rel]
+	}
 	if ri < 0 {
 		return table.Null
 	}

@@ -1,0 +1,338 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"asqprl/internal/faults"
+	"asqprl/internal/sqlparse"
+	"asqprl/internal/table"
+)
+
+// This file holds the seeded differential fuzz harness for the columnar
+// execution core: every generated statement is executed by the legacy
+// row-at-a-time engine (the reference) and by the columnar engine at
+// parallelism 1 and 8, and the three runs must agree byte for byte — same
+// result fingerprint (schema, row keys, lineage) on success, same error
+// string and guard kind on failure, and identical partial results when an
+// output budget trips mid-projection. The generated data deliberately covers
+// the hard parity corners: NULLs everywhere, NaN and integral floats (which
+// Value.Compare and Value.Key treat specially), dictionary strings,
+// kind-mismatched (Mixed) columns that force the row fallback, and tables
+// large enough to engage the parallel morsel paths.
+
+// fuzzVocab is the string vocabulary; small so dictionary codes repeat.
+var fuzzVocab = []string{"drama", "comedy", "noir", "sci-fi", "doc"}
+
+// fuzzDB builds a two-table database from rng. About one run in six is big
+// enough (> parallelMinRows) to exercise the parallel scan/probe/project
+// paths; the rest stay small so many statements run per fuzz cycle.
+func fuzzDB(rng *rand.Rand) *table.Database {
+	nA := 30 + rng.Intn(50)
+	if rng.Intn(6) == 0 {
+		nA = parallelMinRows + 500 + rng.Intn(1000)
+	}
+	mixed := rng.Intn(4) == 0 // poison fa.mx with a string cell → Mixed column
+	fa := table.New("fa", table.Schema{
+		{Name: "id", Kind: table.KindInt},
+		{Name: "num", Kind: table.KindInt},
+		{Name: "val", Kind: table.KindFloat},
+		{Name: "cat", Kind: table.KindString},
+		{Name: "flag", Kind: table.KindBool},
+		{Name: "mx", Kind: table.KindInt},
+	})
+	for i := 0; i < nA; i++ {
+		num := table.NewInt(int64(rng.Intn(20) - 5))
+		if rng.Intn(10) == 0 {
+			num = table.Null
+		}
+		var val table.Value
+		switch rng.Intn(8) {
+		case 0:
+			val = table.Null
+		case 1:
+			val = table.NewFloat(math.NaN())
+		case 2:
+			val = table.NewFloat(float64(rng.Intn(8))) // integral float
+		default:
+			val = table.NewFloat(float64(rng.Intn(16)) - 7.5)
+		}
+		cat := table.NewString(fuzzVocab[rng.Intn(len(fuzzVocab))])
+		if rng.Intn(8) == 0 {
+			cat = table.Null
+		}
+		flag := table.NewBool(rng.Intn(2) == 0)
+		if rng.Intn(8) == 0 {
+			flag = table.Null
+		}
+		mx := table.NewInt(int64(rng.Intn(10)))
+		if mixed && rng.Intn(16) == 0 {
+			mx = table.NewString("oops")
+		}
+		fa.AppendRow(table.Row{table.NewInt(int64(i)), num, val, cat, flag, mx})
+	}
+	nB := 20 + rng.Intn(40)
+	if nA > parallelMinRows {
+		nB = parallelMinRows + rng.Intn(500)
+	}
+	fb := table.New("fb", table.Schema{
+		{Name: "fa_id", Kind: table.KindInt},
+		{Name: "cat", Kind: table.KindString},
+		{Name: "w", Kind: table.KindInt},
+	})
+	for i := 0; i < nB; i++ {
+		w := table.NewInt(int64(rng.Intn(8)))
+		if rng.Intn(12) == 0 {
+			w = table.Null
+		}
+		fb.AppendRow(table.Row{
+			table.NewInt(int64(rng.Intn(nA + 5))), // some dangling keys
+			table.NewString(fuzzVocab[rng.Intn(len(fuzzVocab))]),
+			w,
+		})
+	}
+	db := table.NewDatabase()
+	db.Add(fa)
+	db.Add(fb)
+	return db
+}
+
+func fuzzNot(rng *rand.Rand) string {
+	if rng.Intn(3) == 0 {
+		return "NOT "
+	}
+	return ""
+}
+
+// fuzzPred generates a predicate over fa's columns, qualified with prefix p
+// ("" or "a."). It covers every kernel family: ordered comparisons on ints
+// and floats (the NaN parity corner), BETWEEN, IN, LIKE, IS [NOT] NULL,
+// truthy bool columns, Mixed-column comparisons (row fallback), and
+// NOT/AND/OR composition.
+func fuzzPred(rng *rand.Rand, p string, depth int) string {
+	if depth > 0 && rng.Intn(3) == 0 {
+		op := " AND "
+		if rng.Intn(2) == 0 {
+			op = " OR "
+		}
+		s := "(" + fuzzPred(rng, p, depth-1) + op + fuzzPred(rng, p, depth-1) + ")"
+		if rng.Intn(4) == 0 {
+			s = "NOT " + s
+		}
+		return s
+	}
+	ops := []string{"=", "<>", "<", "<=", ">", ">="}
+	op := ops[rng.Intn(len(ops))]
+	switch rng.Intn(9) {
+	case 0:
+		return fmt.Sprintf("%snum %s %d", p, op, rng.Intn(20)-5)
+	case 1:
+		lits := []string{"2.5", "-0.5", "4", "7.25", "0"}
+		return fmt.Sprintf("%sval %s %s", p, op, lits[rng.Intn(len(lits))])
+	case 2:
+		lo := rng.Intn(10) - 2
+		return fmt.Sprintf("%snum %sBETWEEN %d AND %d", p, fuzzNot(rng), lo, lo+rng.Intn(8))
+	case 3:
+		return fmt.Sprintf("%sval %sBETWEEN -1 AND %d", p, fuzzNot(rng), rng.Intn(8))
+	case 4:
+		return fmt.Sprintf("%scat %sIN ('drama', 'noir')", p, fuzzNot(rng))
+	case 5:
+		pats := []string{"'d%'", "'%a'", "'_o%'", "'comedy'"}
+		return fmt.Sprintf("%scat %sLIKE %s", p, fuzzNot(rng), pats[rng.Intn(len(pats))])
+	case 6:
+		cols := []string{"num", "val", "cat", "flag"}
+		return fmt.Sprintf("%s%s IS %sNULL", p, cols[rng.Intn(len(cols))], fuzzNot(rng))
+	case 7:
+		if rng.Intn(2) == 0 {
+			return p + "flag"
+		}
+		return "NOT " + p + "flag"
+	default:
+		return fmt.Sprintf("%smx %s %d", p, op, rng.Intn(10))
+	}
+}
+
+// fuzzSQL generates one statement: single-table SPJ (with DISTINCT, ORDER BY,
+// LIMIT), two- and three-way joins on int, string, and float-vs-int keys, and
+// grouped aggregates with HAVING.
+func fuzzSQL(rng *rand.Rand) string {
+	switch rng.Intn(5) {
+	case 0: // single-table select-project
+		sel := "*"
+		switch rng.Intn(3) {
+		case 1:
+			sel = "id, cat, val"
+		case 2:
+			sel = "num, flag"
+		}
+		distinct := ""
+		if rng.Intn(4) == 0 {
+			distinct = "DISTINCT "
+		}
+		q := "SELECT " + distinct + sel + " FROM fa"
+		if rng.Intn(5) > 0 {
+			q += " WHERE " + fuzzPred(rng, "", 2)
+		}
+		if rng.Intn(3) == 0 {
+			cols := []string{"id", "num", "val", "cat"}
+			q += " ORDER BY " + cols[rng.Intn(len(cols))]
+			if rng.Intn(2) == 0 {
+				q += " DESC"
+			}
+		}
+		if rng.Intn(3) == 0 {
+			q += fmt.Sprintf(" LIMIT %d", rng.Intn(25))
+		}
+		return q
+	case 1: // two-way join on int, string, or float-vs-int keys
+		on := "a.id = b.fa_id"
+		switch rng.Intn(3) {
+		case 1:
+			on = "a.cat = b.cat"
+		case 2:
+			on = "a.val = b.w" // float build side: integral-float/NaN keys
+		}
+		q := "SELECT a.id, a.cat, b.w FROM fa a JOIN fb b ON " + on
+		if rng.Intn(2) == 0 {
+			q += " WHERE " + fuzzPred(rng, "a.", 1)
+		}
+		if rng.Intn(3) == 0 {
+			q += " ORDER BY a.id LIMIT 30"
+		}
+		return q
+	case 2: // composite join key
+		q := "SELECT a.id, b.w FROM fa a JOIN fb b ON a.id = b.fa_id AND a.cat = b.cat"
+		if rng.Intn(2) == 0 {
+			q += " WHERE " + fuzzPred(rng, "a.", 1)
+		}
+		return q
+	case 3: // grouped aggregate
+		q := "SELECT cat, COUNT(*), SUM(num), AVG(val), MIN(val) FROM fa"
+		if rng.Intn(2) == 0 {
+			q += " WHERE " + fuzzPred(rng, "", 1)
+		}
+		q += " GROUP BY cat"
+		if rng.Intn(3) == 0 {
+			q += " HAVING COUNT(*) > 1"
+		}
+		return q
+	default: // three-way join
+		q := "SELECT a.id, c.w FROM fa a JOIN fb b ON a.id = b.fa_id JOIN fb c ON b.w = c.w"
+		if rng.Intn(2) == 0 {
+			q += " WHERE " + fuzzPred(rng, "a.", 1)
+		}
+		return q
+	}
+}
+
+// fuzzRun executes stmt under one engine configuration. faultPoint, when
+// non-empty, arms a fresh deterministic error injection (identical across the
+// compared runs — the schedules carry per-run hit counters, so each run gets
+// its own).
+func fuzzRun(ctx context.Context, db *table.Database, stmt *sqlparse.Select, opts Options, faultPoint string, faultAfter int) (*Result, error) {
+	if faultPoint != "" {
+		faults.Enable(faults.NewSchedule(1, faults.Injection{
+			Point: faultPoint,
+			Kind:  faults.KindError,
+			After: faultAfter,
+		}))
+		defer faults.Disable()
+	}
+	return ExecuteWithContext(ctx, db, stmt, opts)
+}
+
+// fuzzCompare asserts run B matches the reference run A exactly: same
+// success/failure, same error string and guard kind, same (possibly partial)
+// result fingerprint.
+func fuzzCompare(t *testing.T, sql, label string, resA *Result, errA error, resB *Result, errB error) {
+	t.Helper()
+	if (errA == nil) != (errB == nil) {
+		t.Fatalf("%s: error mismatch for %q\nreference: %v\n%s: %v", label, sql, errA, label, errB)
+	}
+	if errA != nil {
+		if errA.Error() != errB.Error() || GuardKind(errA) != GuardKind(errB) {
+			t.Fatalf("%s: error diverges for %q\nreference: %v (guard %q)\n%s: %v (guard %q)",
+				label, sql, errA, GuardKind(errA), label, errB, GuardKind(errB))
+		}
+	}
+	if (resA == nil) != (resB == nil) {
+		t.Fatalf("%s: partial-result presence mismatch for %q (reference nil=%v, got nil=%v, err=%v)",
+			label, sql, resA == nil, resB == nil, errA)
+	}
+	if resA != nil {
+		if fa, fb := resultFingerprint(resA), resultFingerprint(resB); fa != fb {
+			t.Fatalf("%s: result diverges for %q\nreference:\n%.600s\n%s:\n%.600s", label, sql, fa, label, fb)
+		}
+	}
+}
+
+// FuzzRowVsColumnar is the differential harness: seed → random database +
+// statements → row engine vs columnar engine at parallelism 1 and 8, plus
+// CountContext, under normal execution, pre-canceled contexts, output and
+// intermediate row budgets, and injected operator faults.
+func FuzzRowVsColumnar(f *testing.F) {
+	for s := int64(0); s < 24; s++ {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		rng := rand.New(rand.NewSource(seed))
+		db := fuzzDB(rng)
+		for si := 0; si < 6; si++ {
+			sql := fuzzSQL(rng)
+			stmt, err := sqlparse.Parse(sql)
+			if err != nil {
+				t.Fatalf("generator produced unparsable SQL %q: %v", sql, err)
+			}
+			ctx := context.Background()
+			// Always bound join intermediates: low-cardinality join keys on
+			// the big-table cases can fan out to millions of rows, and a
+			// budget trip is itself a compared outcome (same error string on
+			// every path), so capping keeps the harness fast without losing
+			// coverage.
+			base := Options{TrackLineage: true, MaxIntermediateRows: 100_000}
+			faultPoint, faultAfter := "", 0
+			switch rng.Intn(8) {
+			case 0: // cooperative cancellation: already-canceled context
+				c, cancel := context.WithCancel(context.Background())
+				cancel()
+				ctx = c
+			case 1: // output row budget → partial results + ErrRowBudget
+				base.MaxOutputRows = 1 + rng.Intn(5)
+			case 2: // tiny intermediate row budget on the join path
+				base.MaxIntermediateRows = 1 + rng.Intn(10)
+			case 3: // injected operator fault
+				points := []string{faults.PointEngineScan, faults.PointEngineJoin, faults.PointEngineProject}
+				faultPoint = points[rng.Intn(len(points))]
+				faultAfter = rng.Intn(2)
+			}
+
+			rowOpts := base
+			rowOpts.UseRowEngine = true
+			rowOpts.Parallelism = -1
+			refRes, refErr := fuzzRun(ctx, db, stmt, rowOpts, faultPoint, faultAfter)
+
+			colSerial := base
+			colSerial.Parallelism = -1
+			res1, err1 := fuzzRun(ctx, db, stmt, colSerial, faultPoint, faultAfter)
+			fuzzCompare(t, sql, "columnar-serial", refRes, refErr, res1, err1)
+
+			colPar := base
+			colPar.Parallelism = 8
+			res8, err8 := fuzzRun(ctx, db, stmt, colPar, faultPoint, faultAfter)
+			fuzzCompare(t, sql, "columnar-parallel-8", refRes, refErr, res8, err8)
+
+			// Count fast path: CountContext must agree with the row engine
+			// whether or not the columnar count-only specialization applies.
+			if faultPoint == "" && ctx.Err() == nil && base.MaxOutputRows == 0 && base.MaxIntermediateRows == 100_000 {
+				rc, rcErr := CountContext(ctx, db, stmt, Options{UseRowEngine: true, MaxIntermediateRows: 100_000})
+				cc, ccErr := CountContext(ctx, db, stmt, Options{MaxIntermediateRows: 100_000})
+				if (rcErr == nil) != (ccErr == nil) || rc != cc {
+					t.Fatalf("CountContext diverges for %q: row %d (%v) vs columnar %d (%v)", sql, rc, rcErr, cc, ccErr)
+				}
+			}
+		}
+	})
+}

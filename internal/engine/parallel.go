@@ -145,7 +145,7 @@ func scanFilterParallel(b *binder, rel int, filters []sqlparse.Expr, g *guard, w
 // identical to the serial probe. Intermediate-row accounting is folded into a
 // shared atomic counter: the budget trips if and only if the total emitted
 // rows exceed the limit, exactly as in the serial path.
-func probeParallel(b *binder, current []joinedRow, rel int, pairs []joinKeyPair, build map[string][]int32, opts Options, g *guard, workers int) ([]joinedRow, error) {
+func probeParallel(b *binder, current []joinedRow, rel int, pairs []joinKeyPair, build map[string]*[]int32, opts Options, g *guard, workers int) ([]joinedRow, error) {
 	n := len(current)
 	outs := make([][]joinedRow, morselCount(n))
 	var produced atomic.Int64
@@ -167,13 +167,17 @@ func probeParallel(b *binder, current []joinedRow, rel int, pairs []joinKeyPair,
 					null = true
 					break
 				}
-				kb = append(kb, v.Key()...)
+				kb = v.AppendKey(kb)
 				kb = append(kb, 0x1e)
 			}
 			if null {
 				continue
 			}
-			for _, ri := range build[string(kb)] {
+			bucket := build[string(kb)]
+			if bucket == nil {
+				continue
+			}
+			for _, ri := range *bucket {
 				if since++; since >= guardInterval {
 					since = 0
 					if err := g.poll(); err != nil {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"testing"
 	"time"
 
@@ -16,14 +17,15 @@ import (
 // row key in order, and every lineage entry. Two byte-identical results
 // produce equal fingerprints and vice versa.
 func resultFingerprint(res *Result) string {
-	s := fmt.Sprintf("schema=%v rows=%d\n", res.Table.Schema, res.Table.NumRows())
+	var s strings.Builder
+	fmt.Fprintf(&s, "schema=%v rows=%d\n", res.Table.Schema, res.Table.NumRows())
 	for i, r := range res.Table.Rows {
-		s += fmt.Sprintf("%d: %s\n", i, r.Key())
+		fmt.Fprintf(&s, "%d: %s\n", i, r.Key())
 	}
 	for i, lin := range res.Lineage {
-		s += fmt.Sprintf("lin %d: %v\n", i, lin)
+		fmt.Fprintf(&s, "lin %d: %v\n", i, lin)
 	}
-	return s
+	return s.String()
 }
 
 // TestParallelMatchesSerial checks the tentpole determinism property: for

@@ -15,7 +15,9 @@ type Column struct {
 // Schema is an ordered list of columns.
 type Schema []Column
 
-// ColumnIndex returns the index of the named column, or -1.
+// ColumnIndex returns the index of the named column, or -1. The scan is
+// linear; Table.ColumnIndex memoizes a case-folded map and should be
+// preferred on hot paths.
 func (s Schema) ColumnIndex(name string) int {
 	for i, c := range s {
 		if strings.EqualFold(c.Name, name) {
@@ -54,13 +56,17 @@ func (s Schema) String() string {
 type Row []Value
 
 // Key returns a string that uniquely identifies the row's contents.
-func (r Row) Key() string {
-	var b strings.Builder
+func (r Row) Key() string { return string(r.AppendKey(nil)) }
+
+// AppendKey appends the row's key bytes (see Key) to dst and returns the
+// extended slice. Callers on hot paths reuse dst across rows to avoid the
+// per-row allocation of Key.
+func (r Row) AppendKey(dst []byte) []byte {
 	for _, v := range r {
-		b.WriteString(v.Key())
-		b.WriteByte(0x1f)
+		dst = v.AppendKey(dst)
+		dst = append(dst, 0x1f)
 	}
-	return b.String()
+	return dst
 }
 
 // Clone returns a copy of the row.
@@ -70,11 +76,16 @@ func (r Row) Clone() Row {
 	return out
 }
 
-// Table is a named relation: a schema plus row-major tuple storage.
+// Table is a named relation: a schema plus row-major tuple storage. The
+// embedded cache lazily derives a columnar view (see Columns) and a
+// case-folded column-name index; both are rebuilt on demand and never
+// serialized.
 type Table struct {
 	Name   string
 	Schema Schema
 	Rows   []Row
+
+	cache
 }
 
 // New creates an empty table with the given name and schema.
@@ -95,10 +106,24 @@ func (t *Table) AppendRow(r Row) {
 		panic(fmt.Sprintf("table %s: row arity %d != schema arity %d", t.Name, len(r), len(t.Schema)))
 	}
 	t.Rows = append(t.Rows, r)
+	t.cache.invalidate()
 }
 
-// ColumnIndex returns the index of the named column, or -1.
-func (t *Table) ColumnIndex(name string) int { return t.Schema.ColumnIndex(name) }
+// ColumnIndex returns the index of the named column, or -1. Unlike
+// Schema.ColumnIndex it answers from a memoized case-folded map, so repeated
+// lookups (binder resolution, projection, ORDER BY) are O(1).
+func (t *Table) ColumnIndex(name string) int {
+	ni := t.nameIndex()
+	if i, ok := lookupFolded(ni, name); ok {
+		return i
+	}
+	if !ni.ascii || !asciiOnly(name) {
+		// Exotic Unicode identifiers: defer to the reference EqualFold scan,
+		// whose simple-fold semantics differ from ToLower in rare cases.
+		return t.Schema.ColumnIndex(name)
+	}
+	return -1
+}
 
 // Column returns all values of the named column. It returns an error if the
 // column does not exist.

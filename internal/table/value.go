@@ -152,28 +152,33 @@ func (v Value) String() string {
 
 // Key returns a string that uniquely identifies the value across kinds; it is
 // suitable for use as a map key (hash joins, grouping, Jaccard sets).
-func (v Value) Key() string {
+func (v Value) Key() string { return string(v.AppendKey(nil)) }
+
+// AppendKey appends the value's key bytes (see Key) to dst and returns the
+// extended slice. Hot paths reuse dst across values so keying a row costs no
+// allocations once the buffer has grown.
+func (v Value) AppendKey(dst []byte) []byte {
 	switch v.Kind {
 	case KindNull:
-		return "\x00n"
+		return append(dst, 0, 'n')
 	case KindInt:
-		return "\x00i" + strconv.FormatInt(v.Int, 10)
+		return strconv.AppendInt(append(dst, 0, 'i'), v.Int, 10)
 	case KindFloat:
 		// Integral floats share keys with ints so joins across int/float
 		// columns behave as SQL users expect.
 		if v.Float == float64(int64(v.Float)) {
-			return "\x00i" + strconv.FormatInt(int64(v.Float), 10)
+			return strconv.AppendInt(append(dst, 0, 'i'), int64(v.Float), 10)
 		}
-		return "\x00f" + strconv.FormatFloat(v.Float, 'g', -1, 64)
+		return strconv.AppendFloat(append(dst, 0, 'f'), v.Float, 'g', -1, 64)
 	case KindString:
-		return "\x00s" + v.Str
+		return append(append(dst, 0, 's'), v.Str...)
 	case KindBool:
 		if v.Bool {
-			return "\x00b1"
+			return append(dst, 0, 'b', '1')
 		}
-		return "\x00b0"
+		return append(dst, 0, 'b', '0')
 	default:
-		return "\x00?"
+		return append(dst, 0, '?')
 	}
 }
 

@@ -1,0 +1,129 @@
+// Command benchdiff is the perf-regression gate over the in-repo bench
+// history. It compares the scan-heavy benchmarks (vectorized scans, hash
+// joins, workload scoring — the columnar execution core's hot paths) in the
+// most recent BENCH_<date>.json against the most recent prior file and fails
+// when any of them regressed by more than the threshold.
+//
+//	go run ./scripts/benchdiff [-threshold 0.20] [-match regexp] [dir]
+//
+// Each BENCH_<date>.json holds one JSON array per check.sh run, concatenated
+// (not a single document), so the file is consumed with a json.Decoder loop.
+// Within a file the minimum ns/op per benchmark name is used: the best
+// observed run is the least noisy estimate of the code's speed. With fewer
+// than two history files the gate passes trivially.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+)
+
+// scanHeavy selects the benchmarks the gate watches: the engine's scan and
+// join micro-benchmarks plus the Figure 2 scoring loop that motivated the
+// columnar core.
+const scanHeavy = `ColumnarScan|ExecuteFilter|ExecuteHashJoin|ExecuteThreeWay|Fig2WorkloadScoring`
+
+type entry struct {
+	Name    string  `json:"name"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// readMinNs returns the minimum ns/op per benchmark name across every run
+// recorded in the file, keeping only names matching re.
+func readMinNs(path string, re *regexp.Regexp) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	min := make(map[string]float64)
+	dec := json.NewDecoder(f)
+	for {
+		var run []entry
+		if err := dec.Decode(&run); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		for _, e := range run {
+			if e.NsPerOp <= 0 || !re.MatchString(e.Name) {
+				continue
+			}
+			if cur, ok := min[e.Name]; !ok || e.NsPerOp < cur {
+				min[e.Name] = e.NsPerOp
+			}
+		}
+	}
+	return min, nil
+}
+
+func main() {
+	threshold := flag.Float64("threshold", 0.20, "maximum tolerated fractional ns/op regression")
+	match := flag.String("match", scanHeavy, "regexp selecting benchmarks to compare")
+	flag.Parse()
+	dir := "."
+	if flag.NArg() > 0 {
+		dir = flag.Arg(0)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+	files, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	sort.Strings(files) // dates are zero-padded YYYYMMDD, so name order is time order
+	if len(files) < 2 {
+		fmt.Println("benchdiff: fewer than two BENCH_*.json files; nothing to compare")
+		return
+	}
+	prevFile, curFile := files[len(files)-2], files[len(files)-1]
+	prev, err := readMinNs(prevFile, re)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	cur, err := readMinNs(curFile, re)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	names := make([]string, 0, len(cur))
+	for name := range cur {
+		if _, ok := prev[name]; ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	fmt.Printf("benchdiff: %s vs %s (threshold +%.0f%%)\n", filepath.Base(prevFile), filepath.Base(curFile), *threshold*100)
+	if len(names) == 0 {
+		fmt.Println("benchdiff: no overlapping scan-heavy benchmarks; nothing to compare")
+		return
+	}
+	regressed := 0
+	for _, name := range names {
+		p, c := prev[name], cur[name]
+		delta := c/p - 1
+		mark := "ok"
+		if delta > *threshold {
+			mark = "REGRESSION"
+			regressed++
+		}
+		fmt.Printf("  %-60s %12.0f -> %12.0f ns/op  %+6.1f%%  %s\n", name, p, c, delta*100, mark)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%%\n", regressed, *threshold*100)
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: scan-heavy benchmarks within threshold")
+}

@@ -20,7 +20,10 @@ go test -race ./...
 # Parallelism gate: the data-parallel operators (morsel scans, join probe,
 # projection), the scoring worker pool, and the blocked PPO gradient
 # accumulation must stay race-free and worker-count-deterministic. -count=1
-# defeats the test cache so the determinism sweeps actually rerun.
+# defeats the test cache so the determinism sweeps actually rerun. This gate
+# also covers the columnar engine: the FuzzRowVsColumnar seed corpus runs the
+# row-vs-columnar differential (byte-identical results and guard/error
+# semantics at parallelism 1 and 8) under the race detector.
 echo "==> parallelism gate: engine/metrics/rl under -race"
 go test -race -count=1 ./internal/engine/ ./internal/metrics/ ./internal/rl/
 
@@ -57,6 +60,13 @@ go test -race -count=1 -timeout 5m ./internal/retrain/
 bench_out="BENCH_$(date +%Y%m%d).json"
 echo "==> go test -bench=Fig2 -benchtime=1x -run='^\$' ./...  (-> ${bench_out})"
 go test -bench=Fig2 -benchtime=1x -run='^$' "$@" ./... |
+	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
+
+# Columnar engine bench: the vectorized scan and typed-key hash join against
+# their row-engine counterparts, recorded into the same history so benchdiff
+# below can gate on them.
+echo "==> go test -bench='ColumnarScan|HashJoinAllocs' ./internal/engine/  (-> ${bench_out})"
+go test -bench='ColumnarScan|HashJoinAllocs' -benchtime=10x -run='^$' ./internal/engine/ |
 	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
 
 # Serving bench: closed-loop HTTP load at 1x/4x/16x admission capacity,
@@ -130,5 +140,11 @@ echo "==> tracing gate: validate JSONL trace export"
 go run ./scripts/tracecheck "${trace_dir}"
 rm -rf "${trace_dir}"
 trap - EXIT
+
+# Perf regression gate: compare the scan-heavy benchmarks (vectorized scans,
+# hash joins, workload scoring) in today's bench history against the most
+# recent prior BENCH_<date>.json; any >20% ns/op regression fails the check.
+echo "==> benchdiff: scan-heavy perf regression gate"
+go run ./scripts/benchdiff
 
 echo "==> all checks passed; bench results appended to ${bench_out}"
