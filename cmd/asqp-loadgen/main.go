@@ -55,6 +55,11 @@ type result struct {
 	// generation was serving when the run ended.
 	RetrainSwaps int64 `json:"retrain_swaps,omitempty"`
 	Generation   int64 `json:"generation,omitempty"`
+	// RecoveryFramesReplayed and RecoveryDriftRestored record the
+	// -expect-recovery outcome: what the server's startup WAL replay
+	// reported in /stats.
+	RecoveryFramesReplayed int64 `json:"recovery_frames_replayed,omitempty"`
+	RecoveryDriftRestored  int64 `json:"recovery_drift_restored,omitempty"`
 }
 
 type queryList []string
@@ -76,6 +81,7 @@ func main() {
 	quality := flag.Bool("quality", false, "after the run, fetch /qualityz and fail unless the audit block is well-formed")
 	scenario := flag.String("scenario", "", "traffic scenario: empty (steady mix) or drift-storm (shift the query mix mid-run, then require a completed retrain or clean backoff)")
 	retrainWait := flag.Duration("retrain-wait", 45*time.Second, "drift-storm: how long to wait after the run for the server's retrain to reach a terminal state")
+	expectRecovery := flag.Bool("expect-recovery", false, "require the server's /stats to report a completed WAL recovery with replayed frames (kill-and-restart smoke)")
 	var queries queryList
 	flag.Var(&queries, "query", "query to fire (repeatable; defaults to an IMDB mix)")
 	flag.Parse()
@@ -103,6 +109,15 @@ func main() {
 	// Wait for readiness so training time is not billed as latency.
 	if err := waitReady(*url, 5*time.Minute); err != nil {
 		fatal(err)
+	}
+
+	var recFrames, recDrift int64
+	if *expectRecovery {
+		var err error
+		recFrames, recDrift, err = checkRecovery(&http.Client{Timeout: 10 * time.Second}, *url)
+		if err != nil {
+			fatal(err)
+		}
 	}
 
 	var (
@@ -208,6 +223,10 @@ func main() {
 		}
 		res.RetrainSwaps = swaps
 		res.Generation = gen
+	}
+	if *expectRecovery {
+		res.RecoveryFramesReplayed = recFrames
+		res.RecoveryDriftRestored = recDrift
 	}
 
 	if *jsonOut != "" {
@@ -394,6 +413,67 @@ func checkRetrain(client *http.Client, base string, wait time.Duration) (swaps, 
 		}
 		time.Sleep(500 * time.Millisecond)
 	}
+}
+
+// checkRecovery validates the /stats recovery block after a kill-and-restart:
+// the server must have gone through WAL recovery, replayed at least one frame
+// (the pre-kill traffic wrote some), and report internally consistent
+// counters. It returns the replayed-frame and restored-drift counts for the
+// JSON record.
+func checkRecovery(client *http.Client, base string) (frames, drift int64, err error) {
+	resp, err := client.Get(base + "/stats")
+	if err != nil {
+		return 0, 0, fmt.Errorf("/stats: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return 0, 0, fmt.Errorf("/stats: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return 0, 0, fmt.Errorf("/stats: HTTP %d", resp.StatusCode)
+	}
+	var page struct {
+		WAL *struct {
+			Dir      string `json:"dir"`
+			Segments int    `json:"segments"`
+			Failed   string `json:"failed"`
+		} `json:"wal"`
+		Recovery *struct {
+			Segments       int64   `json:"segments"`
+			FramesReplayed int64   `json:"frames_replayed"`
+			FramesDropped  int64   `json:"frames_dropped"`
+			TruncatedBytes int64   `json:"truncated_bytes"`
+			DriftRestored  int64   `json:"drift_restored"`
+			ServedSeen     int64   `json:"served_seen"`
+			WallMs         float64 `json:"wall_ms"`
+		} `json:"recovery"`
+		DriftedQueries int64 `json:"drifted_queries"`
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		return 0, 0, fmt.Errorf("/stats: bad JSON: %w", err)
+	}
+	switch {
+	case page.WAL == nil:
+		return 0, 0, fmt.Errorf("expected recovery: server has no WAL (start it with -wal-dir)")
+	case page.WAL.Failed != "":
+		return 0, 0, fmt.Errorf("expected recovery: WAL is in failed state: %s", page.WAL.Failed)
+	case page.Recovery == nil:
+		return 0, 0, fmt.Errorf("expected recovery: /stats has no recovery block (server did not replay a WAL)")
+	}
+	r := page.Recovery
+	switch {
+	case r.FramesReplayed <= 0:
+		return 0, 0, fmt.Errorf("expected recovery: 0 frames replayed — pre-kill traffic did not survive")
+	case r.FramesDropped < 0 || r.TruncatedBytes < 0 || r.DriftRestored < 0 || r.WallMs < 0:
+		return 0, 0, fmt.Errorf("expected recovery: negative recovery counter: %+v", *r)
+	case r.DriftRestored > 0 && page.DriftedQueries < r.DriftRestored:
+		return 0, 0, fmt.Errorf("expected recovery: restored %d drift observations but detector holds %d",
+			r.DriftRestored, page.DriftedQueries)
+	}
+	fmt.Printf("recovery: %d segments, %d frames replayed (%d drift restored, %d served), %d dropped, %d torn bytes, %.1fms\n",
+		r.Segments, r.FramesReplayed, r.DriftRestored, r.ServedSeen, r.FramesDropped, r.TruncatedBytes, r.WallMs)
+	return r.FramesReplayed, r.DriftRestored, nil
 }
 
 // traceIDMatches checks that a response either omits trace_id (tracing off

@@ -39,6 +39,7 @@ import (
 	"asqprl/internal/retrain"
 	"asqprl/internal/server"
 	"asqprl/internal/table"
+	"asqprl/internal/wal"
 	"asqprl/internal/workload"
 )
 
@@ -79,6 +80,9 @@ func main() {
 	retrainTimeout := flag.Duration("retrain-timeout", 5*time.Minute, "hard deadline for one retrain attempt (clone + fine-tune + validate)")
 	retrainMargin := flag.Float64("retrain-validate-margin", 0.05, "how much worse the candidate may score than the incumbent and still swap in")
 	retrainRollback := flag.Duration("retrain-rollback-window", 30*time.Second, "how long the old system is retained after a swap for automatic rollback")
+	walDir := flag.String("wal-dir", "", "write-ahead log directory: durably record served/drift/retrain events and replay them on startup (empty = durability off)")
+	walSegBytes := flag.Int64("wal-segment-bytes", 4<<20, "WAL segment rotation threshold in bytes")
+	walNoGroup := flag.Bool("wal-no-group-commit", false, "fsync every durable WAL append individually instead of sharing group commits")
 	flag.Parse()
 
 	if *logLevel != "" && *logLevel != "off" {
@@ -120,6 +124,33 @@ func main() {
 		fmt.Printf("debug server on http://%s (/metrics, /spans, /tracez, /debug/pprof)\n", debug.Addr())
 	}
 
+	// Startup hygiene: a crash between SaveFile's temp-write and rename
+	// leaves orphaned `<snapshot>.tmp-*` files that are never live data.
+	if *saveFile != "" {
+		if n := core.CleanSnapshotTemps(*saveFile); n > 0 {
+			fmt.Printf("startup hygiene: removed %d orphaned snapshot temp file(s)\n", n)
+		}
+	}
+	// Open the WAL before the server exists: Open performs the disk-side
+	// recovery (torn-tail truncation, corrupt-frame skipping, stale-segment
+	// removal) and hands back the tail to replay once the system is built.
+	var (
+		wlog *wal.Log
+		wrec wal.Recovery
+	)
+	if *walDir != "" {
+		var werr error
+		wlog, wrec, werr = wal.Open(*walDir, wal.Options{
+			SegmentBytes:       *walSegBytes,
+			DisableGroupCommit: *walNoGroup,
+		})
+		if werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("wal: %s (%d segments scanned, %d frames to replay, %d dropped, %d torn bytes truncated)\n",
+			*walDir, wrec.Stats.Segments, wrec.Stats.FramesReplayed, wrec.Stats.FramesDropped, wrec.Stats.TruncatedBytes)
+	}
+
 	srv := server.New(nil, server.Config{
 		Addr:            *addr,
 		MaxInFlight:     *maxInFlight,
@@ -147,7 +178,13 @@ func main() {
 			SnapshotPath: *saveFile,
 			Seed:         *seed,
 		},
+		WAL: wlog,
 	})
+	if wlog != nil {
+		// /readyz stays 503 "recovering" until the tail is replayed into the
+		// freshly built system — a probe can never see a half-restored server.
+		srv.BeginRecovery()
+	}
 	bound, err := srv.Start()
 	if err != nil {
 		fatal(err)
@@ -189,7 +226,25 @@ func main() {
 		}
 		fmt.Printf("saved system to %s\n", *saveFile)
 	}
-	srv.SetSystem(sys)
+	if wlog != nil {
+		info := srv.Recover(sys, wrec)
+		fmt.Printf("recovered: %d frames replayed, %d drift observations restored, %d dropped\n",
+			info.FramesReplayed, info.DriftRestored, info.FramesDropped)
+		// With nothing replayed and a fresh snapshot on disk, the log's old
+		// history is dead weight: checkpoint now so segments from previous
+		// runs are pruned. With a replayed tail we must NOT checkpoint — the
+		// restored drift evidence lives only in memory until a retrain
+		// consumes it and persists, and truncating the log here would lose it
+		// on the next crash.
+		if len(wrec.Tail) == 0 && *saveFile != "" {
+			_, gen := srv.System()
+			if err := wlog.Checkpoint(gen); err != nil {
+				fmt.Fprintln(os.Stderr, "asqp-serve: initial wal checkpoint:", err)
+			}
+		}
+	} else {
+		srv.SetSystem(sys)
+	}
 	fmt.Printf("ready: approximation set of %d tuples\n", sys.Set().Size())
 
 	<-ctx.Done()
@@ -197,6 +252,11 @@ func main() {
 	fmt.Println("\nsignal received; draining...")
 	if err := srv.Shutdown(context.Background()); err != nil {
 		fmt.Fprintln(os.Stderr, "asqp-serve: drain:", err)
+	}
+	// Traffic is drained; seal the WAL (flush + fsync + close) so a clean
+	// shutdown leaves no torn tail for the next start to repair.
+	if err := wlog.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "asqp-serve: wal close:", err)
 	}
 	if debug != nil {
 		shutCtx, cancel := context.WithTimeout(context.Background(), time.Second)

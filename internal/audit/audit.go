@@ -175,7 +175,7 @@ type Auditor struct {
 	deferrals atomic.Int64 // capacity-gate backoff sleeps
 	sloBurn   atomic.Int64 // audits whose error exceeded SLOP95
 
-	lastWarn atomic.Int64 // unix nanos of the last SLO-burn warning
+	burnWarn obs.WarnLimiter // rate-limits SLO-burn warnings
 }
 
 // New builds and starts an auditor. target supplies the live full database
@@ -412,9 +412,7 @@ func (a *Auditor) groundTruth(ctx context.Context, db *table.Database, frame int
 // warnBurn logs an SLO-burn warning, rate-limited to one per second so a
 // sick shape cannot flood the logs.
 func (a *Auditor) warnBurn(j job, shape string, relErr float64) {
-	now := time.Now().UnixNano()
-	last := a.lastWarn.Load()
-	if now-last < int64(time.Second) || !a.lastWarn.CompareAndSwap(last, now) {
+	if !a.burnWarn.Allow(time.Second) {
 		return
 	}
 	obs.Logger().Warn("quality SLO burn",

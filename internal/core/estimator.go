@@ -123,13 +123,23 @@ type DriftDetector struct {
 // it. It returns true when enough drifted queries have accumulated that
 // fine-tuning should be triggered.
 func (d *DriftDetector) Observe(stmt *sqlparse.Select, similarityConfidence float64) bool {
+	_, triggered := d.ObserveDetail(stmt, similarityConfidence)
+	return triggered
+}
+
+// ObserveDetail is Observe with the per-statement outcome exposed: drifted
+// reports whether this statement was added to the drift batch, triggered
+// whether the batch has reached the fine-tune threshold. The WAL uses drifted
+// to log exactly the observations that replay must re-feed after a crash.
+func (d *DriftDetector) ObserveDetail(stmt *sqlparse.Select, similarityConfidence float64) (drifted, triggered bool) {
 	deviation := 1 - similarityConfidence
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	if deviation >= d.Confidence {
 		d.drifted = append(d.drifted, stmt)
+		drifted = true
 	}
-	return len(d.drifted) >= d.Count
+	return drifted, len(d.drifted) >= d.Count
 }
 
 // Drifted returns the accumulated deviating queries.

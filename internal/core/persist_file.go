@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"asqprl/internal/faults"
 	"asqprl/internal/table"
 )
 
@@ -39,6 +40,11 @@ func (s *System) SaveFile(path string) (err error) {
 	if err = tmp.Close(); err != nil {
 		return fmt.Errorf("core: save %s: %w", path, err)
 	}
+	// Kill point for the crash matrix: dying here leaves a complete, fsynced
+	// temp file but no rename — the exact state CleanSnapshotTemps exists for.
+	if err = faults.Inject(faults.PointSnapshotRename); err != nil {
+		return err
+	}
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("core: save %s: %w", path, err)
 	}
@@ -49,6 +55,31 @@ func (s *System) SaveFile(path string) (err error) {
 		d.Close()
 	}
 	return nil
+}
+
+// CleanSnapshotTemps removes orphaned SaveFile temp files next to path: a
+// crash between temp-write and rename leaves `<base>.tmp-*` files that are
+// never the live snapshot (the rename is what publishes one) and only waste
+// disk. Startup hygiene calls this before loading. Returns how many were
+// removed; removal errors are skipped (best effort).
+func CleanSnapshotTemps(path string) int {
+	matches, err := filepath.Glob(filepath.Join(filepath.Dir(path), filepath.Base(path)+".tmp-*"))
+	if err != nil {
+		return 0
+	}
+	removed := 0
+	for _, m := range matches {
+		if os.Remove(m) == nil {
+			removed++
+		}
+	}
+	if removed > 0 {
+		if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+			_ = d.Sync()
+			d.Close()
+		}
+	}
+	return removed
 }
 
 // LoadFile restores a system from a snapshot file written by SaveFile (or any

@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"asqprl/internal/faults"
 )
 
 // TestSaveFileLoadFileRoundtrip checks the on-disk snapshot restores to a
@@ -104,5 +107,87 @@ func TestSaveFileCrashLeavesPreviousSnapshot(t *testing.T) {
 			strings.HasPrefix(e.Name(), filepath.Base(path)+".tmp-") {
 			t.Errorf("SaveFile left its own temp file behind: %s", e.Name())
 		}
+	}
+}
+
+// TestSaveFileKilledBeforeRename arms the snapshot-swap kill point: SaveFile
+// dies after the temp file is complete and fsynced but before the rename
+// publishes it. The committed snapshot must be untouched, and the failed save
+// must not leave the directory corrupted for the next one.
+func TestSaveFileKilledBeforeRename(t *testing.T) {
+	sys := trainedSystem(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.asqp")
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	before, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	faults.Enable(faults.NewSchedule(1, faults.Injection{
+		Point: faults.PointSnapshotRename, Kind: faults.KindError, MaxFires: 1,
+	}))
+	t.Cleanup(faults.Disable)
+	if err := sys.SaveFile(path); err == nil {
+		t.Fatal("SaveFile succeeded through an armed snapshot-rename kill point")
+	}
+	faults.Disable()
+
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("committed snapshot unreadable after killed save: %v", err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("killed save modified the committed snapshot")
+	}
+	if _, err := LoadFile(testIMDB(), path); err != nil {
+		t.Fatalf("committed snapshot unloadable after killed save: %v", err)
+	}
+	// With the kill point disarmed the next save publishes normally.
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile after recovery: %v", err)
+	}
+}
+
+// TestCleanSnapshotTemps checks startup hygiene removes orphaned temp files —
+// what a real SIGKILL between temp-write and rename leaves, since no deferred
+// cleanup runs in a dead process — without touching the live snapshot or
+// unrelated files.
+func TestCleanSnapshotTemps(t *testing.T) {
+	sys := trainedSystem(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "snap.asqp")
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	orphans := []string{path + ".tmp-123456", path + ".tmp-crashed"}
+	for _, o := range orphans {
+		if err := os.WriteFile(o, []byte("half-written snapshot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	unrelated := filepath.Join(dir, "other.txt")
+	if err := os.WriteFile(unrelated, []byte("keep"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := CleanSnapshotTemps(path); got != len(orphans) {
+		t.Fatalf("CleanSnapshotTemps removed %d files, want %d", got, len(orphans))
+	}
+	for _, o := range orphans {
+		if _, err := os.Stat(o); !os.IsNotExist(err) {
+			t.Errorf("orphan %s still present", o)
+		}
+	}
+	if _, err := LoadFile(testIMDB(), path); err != nil {
+		t.Fatalf("live snapshot damaged by hygiene: %v", err)
+	}
+	if _, err := os.Stat(unrelated); err != nil {
+		t.Errorf("unrelated file removed by hygiene: %v", err)
+	}
+	if got := CleanSnapshotTemps(path); got != 0 {
+		t.Errorf("second pass removed %d files, want 0", got)
 	}
 }

@@ -262,6 +262,11 @@ type QueryResult struct {
 	// DriftTriggered is true when this query tipped the drift detector over
 	// its threshold; callers should fine-tune (see FineTuneFromDrift).
 	DriftTriggered bool
+	// Drifted is true when this query itself was added to the drift batch
+	// (its deviation cleared the detector's confidence bar). The serving
+	// layer logs exactly these observations to the WAL so recovery can
+	// rebuild the detector state after a crash.
+	Drifted bool
 	// Degraded is true when the full answer could not be produced and the
 	// result is a best-effort substitute (approximation-set answer after a
 	// full-DB failure, or the partial rows before a row-budget trip). A
@@ -385,7 +390,7 @@ func (s *System) QueryStmtContext(ctx context.Context, stmt *sqlparse.Select, op
 	pred, conf := s.est.Estimate(estStmt)
 	out := &QueryResult{PredictedScore: pred, Confidence: conf}
 	if !opts.SkipDrift {
-		out.DriftTriggered = s.drift.Observe(estStmt, conf)
+		out.Drifted, out.DriftTriggered = s.drift.ObserveDetail(estStmt, conf)
 	}
 
 	eopts := engine.Options{

@@ -243,6 +243,15 @@ const (
 	PointRetrainTrain    = "retrain/train"
 	PointRetrainValidate = "retrain/validate"
 	PointRetrainSwap     = "retrain/swap"
+	// Durability kill points (internal/wal, core.SaveFile): each sits at a
+	// write/fsync/rename boundary so the crash matrix can simulate process
+	// death exactly where durability guarantees are made. KindError at one of
+	// these models "the process died here"; KindPanic models it literally.
+	PointWALAppend      = "wal/append"
+	PointWALSync        = "wal/fsync"
+	PointWALRotate      = "wal/rotate"
+	PointWALCheckpoint  = "wal/checkpoint"
+	PointSnapshotRename = "core/snapshot/rename"
 )
 
 // Points lists every canonical injection point, sorted.
@@ -261,6 +270,11 @@ func Points() []string {
 		PointRetrainTrain,
 		PointRetrainValidate,
 		PointRetrainSwap,
+		PointWALAppend,
+		PointWALSync,
+		PointWALRotate,
+		PointWALCheckpoint,
+		PointSnapshotRename,
 	}
 	sort.Strings(ps)
 	return ps

@@ -85,7 +85,22 @@ func (e *JSONLExporter) ExportTrace(rec TraceRecord) error {
 	n, err := e.f.Write(line)
 	e.size += int64(n)
 	if err != nil {
-		return fmt.Errorf("obs: trace write: %w", err)
+		// The active file is wedged (ENOSPC after the partial write, a handle
+		// invalidated from outside, a deleted directory entry). Rotate once
+		// to a fresh sequence file and retry there: a transient failure
+		// self-heals on the spot, a persistent one (disk truly full) fails
+		// the rotation or the retry and degrades to a counted drop in the
+		// sampler — this trace is lost either way, but the exporter never
+		// wedges permanently and never spins.
+		if rerr := e.rotateLocked(); rerr != nil {
+			return fmt.Errorf("obs: trace write: %w (rotate: %v)", err, rerr)
+		}
+		if _, rerr := e.f.Write(line); rerr != nil {
+			e.size += int64(len(line)) // force rotation on the next attempt
+			return fmt.Errorf("obs: trace write after rotate: %w", rerr)
+		}
+		e.size = int64(len(line))
+		return nil
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ import (
 	"log/slog"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // nopHandler is an slog.Handler that reports every level disabled, making
@@ -61,6 +62,24 @@ func SetLogger(l *slog.Logger) {
 // logfmt-style text.
 func EnableLogging(w io.Writer, level slog.Level) {
 	SetLogger(slog.New(slog.NewTextHandler(w, &slog.HandlerOptions{Level: level})))
+}
+
+// WarnLimiter rate-limits repeated warnings about one recurring condition —
+// a full disk failing every trace export, a sick query shape burning SLO on
+// every audit — to one log line per interval, while the caller's counters
+// stay exact: limit the noise, never the numbers. The zero value is ready to
+// use.
+type WarnLimiter struct {
+	last atomic.Int64 // unix nanos of the last emitted warning
+}
+
+// Allow reports whether a warning may be emitted now and, if so, claims the
+// slot. Concurrent callers race for one slot per interval; losers stay
+// silent.
+func (w *WarnLimiter) Allow(interval time.Duration) bool {
+	now := time.Now().UnixNano()
+	last := w.last.Load()
+	return now-last >= int64(interval) && w.last.CompareAndSwap(last, now)
 }
 
 // ParseLevel maps a -log flag value ("debug", "info", "warn", "error") to a

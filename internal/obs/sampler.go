@@ -120,11 +120,23 @@ func tailConsider(s *Span) {
 	slowLog.observe(rec)
 	if cfg.Exporter != nil {
 		if err := cfg.Exporter.ExportTrace(rec); err != nil {
+			// Counted drop, rate-limited warning: a full disk fails every
+			// export, and one warning per trace would turn the log into the
+			// second full disk.
 			Default().Counter("obs/trace/export_errors").Inc()
-			Logger().Warn("trace export failed", "trace_id", rec.TraceID, "err", err)
+			if exportWarn.Allow(exportWarnEvery) {
+				Logger().Warn("trace export failed (dropping; see obs/trace/export_errors)",
+					"trace_id", rec.TraceID, "err", err)
+			}
 		}
 	}
 }
+
+// exportWarn rate-limits export-failure warnings to one per exportWarnEvery;
+// the counter stays exact.
+var exportWarn WarnLimiter
+
+const exportWarnEvery = 10 * time.Second
 
 // traceRing is a fixed-size circular buffer of kept traces.
 type traceRing struct {

@@ -34,13 +34,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
 	"asqprl/internal/core"
 	"asqprl/internal/faults"
 	"asqprl/internal/obs"
+	"asqprl/internal/sqlparse"
 	"asqprl/internal/workload"
 )
 
@@ -91,6 +94,13 @@ type Config struct {
 	// path *before* the swap (and the incumbent again after a rollback), so
 	// a crash at any point recovers to a consistent approximation set.
 	SnapshotPath string
+	// RecencyDecay is the per-position exponential decay applied when
+	// weighting the drifted batch: the newest observation gets weight 1, the
+	// one before it RecencyDecay, then RecencyDecay², … Repeats of the same
+	// canonical statement sum their weights, so a query that drifted five
+	// times recently dominates one stale outlier. 1 means pure frequency
+	// weighting (no decay); default 0.9.
+	RecencyDecay float64
 	// Seed drives holdback sampling (default 1).
 	Seed int64
 }
@@ -126,6 +136,9 @@ func (c Config) normalize() Config {
 	if c.Backoff <= 0 {
 		c.Backoff = 5 * time.Second
 	}
+	if c.RecencyDecay <= 0 || c.RecencyDecay > 1 {
+		c.RecencyDecay = 0.9
+	}
 	if c.MaxBackoff < c.Backoff {
 		c.MaxBackoff = 16 * c.Backoff
 	}
@@ -133,6 +146,25 @@ func (c Config) normalize() Config {
 		c.Seed = 1
 	}
 	return c
+}
+
+// Event is one retrain lifecycle transition, emitted through Hooks.Journal so
+// a durability layer (the WAL) can persist the controller's progress. Names:
+// "started" (batch picked up; Queries set), "validated" (gate passed; Attempt
+// set), "swapped" (candidate published; Persisted reports whether the
+// snapshot on disk already captures it), "rolled_back" (incumbent
+// republished), "failed" (one attempt failed; Attempt set), "gave_up"
+// (attempt budget exhausted, batch discarded).
+type Event struct {
+	Name string
+	// Queries is the drifted-batch size ("started").
+	Queries int
+	// Attempt is the per-batch attempt number ("validated"/"failed").
+	Attempt int
+	// Persisted reports whether SnapshotPath captured the published system
+	// ("swapped"/"rolled_back") — the journal consumer checkpoints its log
+	// only when true, because only then is the event's state on disk.
+	Persisted bool
 }
 
 // QualityProbe reports the current worst per-shape p95 relative error from
@@ -153,6 +185,11 @@ type Hooks struct {
 	// monitoring — the window still runs so tests and operators see the
 	// state, but nothing can trigger).
 	Quality QualityProbe
+	// Journal receives lifecycle events for durable logging (optional). It is
+	// called synchronously from the controller goroutine; implementations
+	// that need durability (WAL append + fsync) should still be quick, and
+	// must never call back into the controller.
+	Journal func(Event)
 }
 
 // GateScores records one validation-gate evaluation for /retrainz.
@@ -344,13 +381,14 @@ func (c *Controller) runOnce(forced bool) {
 			}
 			return
 		}
-		pending = workload.FromStatements(drifted)
+		pending = weightedDriftBatch(drifted, c.cfg.RecencyDecay)
 		c.mu.Lock()
 		c.pending = pending
 		c.st.AttemptsThisBatch = 0
 		c.mu.Unlock()
+		c.journal(Event{Name: "started", Queries: len(drifted)})
 		obs.Logger().Info("retrain triggered",
-			"drifted_queries", len(pending), "forced", forced)
+			"drifted_queries", len(drifted), "distinct", len(pending), "forced", forced)
 	}
 	c.attempt(inc, pending)
 }
@@ -474,6 +512,12 @@ func (c *Controller) attempt(inc *core.System, drifted workload.Workload) {
 	c.st.LastGate = &g
 	c.mu.Unlock()
 	span.Annotate("gate_passed", gate.Passed)
+	if gate.Passed {
+		c.mu.Lock()
+		attemptNo := c.st.AttemptsThisBatch
+		c.mu.Unlock()
+		c.journal(Event{Name: "validated", Attempt: attemptNo})
+	}
 	if !gate.Passed {
 		c.mu.Lock()
 		c.st.ValidationRejects++
@@ -520,6 +564,7 @@ func (c *Controller) attempt(inc *core.System, drifted workload.Workload) {
 	if obs.Enabled() {
 		obs.Default().Counter("retrain/swaps").Inc()
 	}
+	c.journal(Event{Name: "swapped", Persisted: c.cfg.SnapshotPath != ""})
 	span.Event("swapped", "baseline_p95", baseP95, "baseline_ok", baseOK)
 	obs.Logger().Info("retrain swapped in candidate",
 		"drift_score", candDrift, "holdback_score", candHold,
@@ -597,6 +642,7 @@ func (c *Controller) rollback(inc *core.System, baseP95, p95 float64) {
 	if obs.Enabled() {
 		obs.Default().Counter("retrain/rollbacks").Inc()
 	}
+	c.journal(Event{Name: "rolled_back", Persisted: c.cfg.SnapshotPath != ""})
 	obs.Logger().Warn("retrain rolled back to incumbent",
 		"post_swap_p95", p95, "baseline_p95", baseP95)
 }
@@ -611,21 +657,59 @@ func (c *Controller) fail(stage string, err error) {
 	}
 	obs.Logger().Warn("retrain attempt failed", "stage", stage, "err", err)
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	c.st.Failures++
 	c.st.LastOutcome = "failed_" + stage
 	c.st.LastError = err.Error()
 	c.st.State = "idle"
-	if c.st.AttemptsThisBatch >= c.cfg.MaxAttempts {
+	attemptNo := c.st.AttemptsThisBatch
+	gaveUp := attemptNo >= c.cfg.MaxAttempts
+	if gaveUp {
 		c.pending = nil
 		c.st.AttemptsThisBatch = 0
 		c.st.LastOutcome = "gave_up"
 		c.backoff = c.cfg.Backoff
 		c.until = time.Time{}
+	} else {
+		c.armBackoffLocked()
+	}
+	c.mu.Unlock()
+	if gaveUp {
+		c.journal(Event{Name: "gave_up", Attempt: attemptNo})
 		obs.Logger().Warn("retrain attempt budget exhausted; discarding drift batch",
 			"max_attempts", c.cfg.MaxAttempts)
 		return
 	}
+	c.journal(Event{Name: "failed", Attempt: attemptNo})
+}
+
+// journal emits ev through the optional Journal hook. Nil-safe.
+func (c *Controller) journal(ev Event) {
+	if c.hooks.Journal != nil {
+		c.hooks.Journal(ev)
+	}
+}
+
+// Restore re-arms the failure backoff after crash recovery: the WAL replay
+// tells the controller how many attempts the pre-crash batch had already
+// burned, and Restore resumes the doubled backoff where it left off, so a
+// crash-looping deployment cannot turn retraining into a hot loop. The drift
+// batch itself is restored separately (replay re-observes the drifted
+// statements into the detector; the controller picks them up as usual once
+// the backoff expires).
+func (c *Controller) Restore(attemptsThisBatch int) {
+	if c == nil || attemptsThisBatch <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.backoff = c.cfg.Backoff
+	for i := 1; i < attemptsThisBatch; i++ {
+		if c.backoff *= 2; c.backoff > c.cfg.MaxBackoff {
+			c.backoff = c.cfg.MaxBackoff
+			break
+		}
+	}
+	c.st.LastOutcome = "recovered"
 	c.armBackoffLocked()
 }
 
@@ -648,6 +732,43 @@ func (c *Controller) setOutcome(outcome, msg string) {
 	c.st.LastOutcome = outcome
 	c.st.LastError = msg
 	c.mu.Unlock()
+}
+
+// weightedDriftBatch turns the raw drift observations (in observation order,
+// oldest first) into a weighted fine-tune workload: each occurrence of a
+// canonical statement contributes decay^(age) weight, where age counts
+// observations back from the newest. Frequency and recency therefore compound
+// — a statement that drifted repeatedly and recently dominates the batch —
+// instead of the old uniform treatment where one stale outlier pulled as hard
+// as the workload's new center of mass. The result is deduplicated, ordered
+// by weight descending (ties broken by canonical SQL for determinism), and
+// normalized.
+func weightedDriftBatch(stmts []*sqlparse.Select, decay float64) workload.Workload {
+	if len(stmts) == 0 {
+		return nil
+	}
+	weights := make(map[string]float64, len(stmts))
+	repr := make(map[string]*sqlparse.Select, len(stmts))
+	n := len(stmts)
+	for i, s := range stmts {
+		sql := s.String()
+		weights[sql] += math.Pow(decay, float64(n-1-i))
+		if _, ok := repr[sql]; !ok {
+			repr[sql] = s
+		}
+	}
+	w := make(workload.Workload, 0, len(weights))
+	for sql, wt := range weights {
+		w = append(w, workload.Query{SQL: sql, Stmt: repr[sql], Weight: wt})
+	}
+	sort.Slice(w, func(i, j int) bool {
+		if w[i].Weight != w[j].Weight {
+			return w[i].Weight > w[j].Weight
+		}
+		return w[i].SQL < w[j].SQL
+	})
+	w.Normalize()
+	return w
 }
 
 // holdbackSlice deterministically samples a fraction of the training workload

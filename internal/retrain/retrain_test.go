@@ -1,6 +1,7 @@
 package retrain
 
 import (
+	"math"
 	"bytes"
 	"sync"
 	"testing"
@@ -457,5 +458,98 @@ func TestForceWithoutDrift(t *testing.T) {
 	}
 	if h.publishCount() != 0 {
 		t.Fatalf("no-drift force published %d systems", h.publishCount())
+	}
+}
+
+// TestWeightedDriftBatch pins the frequency×recency weighting of the
+// fine-tune batch: repeats compound, newer observations outweigh older ones,
+// ties order deterministically, and the result is normalized.
+func TestWeightedDriftBatch(t *testing.T) {
+	parse := func(sql string) *sqlparse.Select {
+		stmt, err := sqlparse.Parse(sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return stmt
+	}
+	a := "SELECT * FROM name WHERE birth_year > 1950"
+	b := "SELECT * FROM name WHERE birth_year < 1900"
+	c := "SELECT * FROM name WHERE birth_year > 1980"
+	// Observation order, oldest first: a a b c c. With decay d and n=5 the
+	// positional weights are d⁴ d³ d² d 1, so
+	//   a = d⁴+d³, b = d², c = d+1.
+	stmts := []*sqlparse.Select{parse(a), parse(a), parse(b), parse(c), parse(c)}
+	const d = 0.5
+	got := weightedDriftBatch(stmts, d)
+	if len(got) != 3 {
+		t.Fatalf("batch has %d entries, want 3 (deduplicated): %+v", len(got), got)
+	}
+	wantOrder := []string{c, b, a} // 1.5 > 0.25 > 0.1875
+	for i, sql := range wantOrder {
+		if got[i].SQL != sql {
+			t.Fatalf("batch[%d] = %q, want %q (full: %+v)", i, got[i].SQL, sql, got)
+		}
+	}
+	raw := []float64{d + 1, d * d, math.Pow(d, 4) + math.Pow(d, 3)}
+	total := raw[0] + raw[1] + raw[2]
+	for i := range wantOrder {
+		if diff := math.Abs(got[i].Weight - raw[i]/total); diff > 1e-12 {
+			t.Errorf("batch[%d] weight = %v, want %v", i, got[i].Weight, raw[i]/total)
+		}
+	}
+	// Determinism: same input, same output, including tie-breaks.
+	again := weightedDriftBatch(stmts, d)
+	for i := range got {
+		if got[i].SQL != again[i].SQL || got[i].Weight != again[i].Weight {
+			t.Fatalf("weightedDriftBatch not deterministic at %d", i)
+		}
+	}
+	// A recency-dominant run: one old statement repeated, one brand-new one.
+	// Uniform weighting would put the repeated statement first; decay flips it.
+	stmts = []*sqlparse.Select{parse(a), parse(a), parse(a), parse(b)}
+	got = weightedDriftBatch(stmts, 0.3)
+	if got[0].SQL != b {
+		t.Fatalf("recency did not outweigh stale frequency: first = %q", got[0].SQL)
+	}
+}
+
+// TestRestoreRearmsBackoff checks crash recovery of in-flight retrain
+// attempts: Restore(n) re-arms the failure backoff as if those n attempts had
+// just failed, so a crash-looping process cannot reset the backoff clock and
+// turn retraining into a hot loop.
+func TestRestoreRearmsBackoff(t *testing.T) {
+	cfg := testCfg()
+	cfg.Backoff = 50 * time.Millisecond
+	cfg.MaxBackoff = 200 * time.Millisecond
+	sys := fixture(t)
+	h := newHost(sys)
+	c := New(cfg, h.hooks())
+
+	c.Restore(2)
+	st := c.Status()
+	if st.LastOutcome != "recovered" {
+		t.Fatalf("LastOutcome = %q, want recovered", st.LastOutcome)
+	}
+	c.mu.Lock()
+	until, backoff := c.until, c.backoff
+	c.mu.Unlock()
+	if remaining := time.Until(until); remaining <= 0 {
+		t.Fatal("Restore did not arm a backoff window")
+	} else if remaining > cfg.MaxBackoff {
+		t.Fatalf("backoff window %v exceeds MaxBackoff %v", remaining, cfg.MaxBackoff)
+	}
+	// Two prior attempts: armed with Backoff×2=100ms, next doubling 200ms.
+	if backoff != 200*time.Millisecond {
+		t.Fatalf("next backoff = %v, want 200ms", backoff)
+	}
+
+	// Restore with no attempts is a no-op.
+	c2 := New(cfg, h.hooks())
+	c2.Restore(0)
+	c2.mu.Lock()
+	armed := !c2.until.IsZero()
+	c2.mu.Unlock()
+	if armed {
+		t.Fatal("Restore(0) armed a backoff")
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"asqprl/internal/retrain"
 	"asqprl/internal/sqlparse"
 	"asqprl/internal/table"
+	"asqprl/internal/wal"
 )
 
 // Config tunes the serving layer. The zero value is usable: every field has
@@ -97,6 +98,12 @@ type Config struct {
 	// controller (internal/retrain). Disabled unless Retrain.Enabled; it
 	// usually wants DriftObserve on too, or only forced retrains ever fire.
 	Retrain retrain.Config
+	// WAL, when non-nil, durably records served statements, drift
+	// observations, and retrain lifecycle events. Served/drift records use
+	// the async (group-synced) append so the request path never waits on an
+	// fsync; retrain events use the durable append, and a persisted swap or
+	// rollback checkpoints the log against the snapshot generation.
+	WAL *wal.Log
 }
 
 func (c Config) normalize() Config {
@@ -149,6 +156,13 @@ type Server struct {
 	brk  *breaker
 	aud  *audit.Auditor // nil when AuditSample is 0 — the hot path stays free
 	ret  *retrain.Controller
+	wal  *wal.Log // nil when durability is off — appends are no-ops
+
+	// recovering gates readiness while the WAL tail replays at startup;
+	// recInfo holds the finished replay's stats for /stats.
+	recovering atomic.Bool
+	recMu      sync.Mutex
+	recInfo    *RecoveryInfo
 
 	// pubMu serializes SetSystem publishes so generation numbers are strictly
 	// monotonic even when a swap and a rollback race with an operator reload.
@@ -182,6 +196,7 @@ func New(sys *core.System, cfg Config) *Server {
 		cfg:  cfg,
 		adm:  newAdmission(cfg.MaxInFlight, cfg.QueueDepth),
 		brk:  newBreaker(cfg.BreakerTrips, cfg.BreakerCooldown, cfg.BreakerMaxCooldown, cfg.Seed),
+		wal:  cfg.WAL,
 		done: make(chan struct{}),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
@@ -221,14 +236,18 @@ func New(sys *core.System, cfg Config) *Server {
 		ReadHeaderTimeout: 5 * time.Second,
 	}
 	if cfg.Retrain.Enabled {
-		s.ret = retrain.New(cfg.Retrain, retrain.Hooks{
+		hooks := retrain.Hooks{
 			Incumbent: func() *core.System {
 				sys, _ := s.System()
 				return sys
 			},
 			Publish: s.SetSystem,
 			Quality: s.aud.WorstShapeP95,
-		})
+		}
+		if s.wal != nil {
+			hooks.Journal = s.journalRetrain
+		}
+		s.ret = retrain.New(cfg.Retrain, hooks)
 		s.ret.Start()
 	}
 	return s
@@ -263,8 +282,13 @@ func (s *Server) System() (*core.System, int64) {
 // tests use it to force attempts and read status without HTTP.
 func (s *Server) Retrain() *retrain.Controller { return s.ret }
 
-// Ready reports whether the server would pass a readiness probe.
-func (s *Server) Ready() bool { return s.live.Load() != nil && !s.draining.Load() }
+// Ready reports whether the server would pass a readiness probe. Recovery
+// (WAL tail replay at startup) holds readiness down until the replayed state
+// is live — a load balancer never routes to a server still rebuilding its
+// drift evidence.
+func (s *Server) Ready() bool {
+	return s.live.Load() != nil && !s.draining.Load() && !s.recovering.Load()
+}
 
 // Handler returns the HTTP handler (also used directly by tests).
 func (s *Server) Handler() http.Handler {
@@ -520,10 +544,33 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if res.Degraded {
 		span.MarkDegraded(res.DegradedReason)
 	}
+	// One canonicalization serves the quality features (historical-error
+	// lookup, audit-sampling offer) and the WAL record.
+	var canonical string
+	if s.aud != nil || s.wal != nil {
+		canonical = stmt.String()
+	}
+	if s.wal != nil {
+		// Async appends: the frames are buffered now and fsynced by the next
+		// group commit, so the request path never waits on the disk. A crash
+		// can lose at most the frames of one un-synced batch — none of which
+		// were promised durable to anyone.
+		now := time.Now().UnixNano()
+		aerr := s.wal.AppendAsync(wal.Record{
+			Type: wal.TypeServed, UnixNs: now, SQL: canonical,
+			Source: resp.Source, Degraded: resp.Degraded,
+		})
+		if aerr == nil && res.Drifted {
+			aerr = s.wal.AppendAsync(wal.Record{
+				Type: wal.TypeDrift, UnixNs: now, SQL: canonical,
+				Confidence: res.Confidence,
+			})
+		}
+		if aerr != nil && obs.Enabled() {
+			obs.Default().Counter("server/wal_append_errors").Inc()
+		}
+	}
 	if s.aud != nil {
-		// One canonicalization serves both quality features: the lookup of
-		// historical error for this shape, and the audit-sampling offer.
-		canonical := stmt.String()
 		if oe, ok := s.aud.ObservedError(canonical); ok {
 			resp.ObservedError = &oe
 			span.Annotate("observed_error_p95", oe)
@@ -571,6 +618,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
 	case s.draining.Load():
 		s.writeJSON(w, http.StatusServiceUnavailable, time.Now(), map[string]string{"status": "draining"})
+	case s.recovering.Load():
+		s.writeJSON(w, http.StatusServiceUnavailable, time.Now(), map[string]string{"status": "recovering"})
 	case s.live.Load() == nil:
 		s.writeJSON(w, http.StatusServiceUnavailable, time.Now(), map[string]string{"status": "loading"})
 	default:
@@ -599,6 +648,11 @@ type Stats struct {
 	// the controller is off).
 	Generation int64          `json:"generation"`
 	Retrain    retrain.Status `json:"retrain"`
+	// WAL is the write-ahead log's point-in-time view (absent when
+	// durability is off); Recovery is the startup replay report (absent
+	// until a WAL-enabled server finishes recovering).
+	WAL      *wal.Stats    `json:"wal,omitempty"`
+	Recovery *RecoveryInfo `json:"recovery,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -622,6 +676,11 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			st.DriftedQueries = d.DriftedCount()
 		}
 	}
+	if s.wal != nil {
+		ws := s.wal.Stats()
+		st.WAL = &ws
+	}
+	st.Recovery = s.RecoveryInfo()
 	s.writeJSON(w, http.StatusOK, time.Now(), st)
 }
 

@@ -54,6 +54,14 @@ go test -race -count=1 -timeout 5m ./internal/server/
 echo "==> retrain gate: internal/retrain under -race"
 go test -race -count=1 -timeout 5m ./internal/retrain/
 
+# Durability gate: the WAL's crash-fault matrix (seeded kills at every
+# append/fsync/rotate/checkpoint boundary, zero acknowledged-then-lost
+# frames), the replay fuzzer's seed corpus, and the recovery tests run under
+# the race detector. The snapshot-swap kill point and the server-layer
+# kill-and-restart tests are covered by the core and serving gates above.
+echo "==> durability gate: internal/wal under -race"
+go test -race -count=1 -timeout 5m ./internal/wal/
+
 # Bench smoke: the Fig2 benches cover the scoring hot loop (serial vs
 # parallel vs reference-cached) plus the end-to-end Figure 2 harness; pass
 # extra args (e.g. -bench=.) to widen the sweep.
@@ -86,6 +94,17 @@ go test -bench=HotSwapUnderLoad -benchtime=200x -run='^$' ./internal/server/ |
 # alongside the other benches so export-path regressions show in the history.
 echo "==> go test -bench='TraceExport|SpanRingAdd' ./internal/obs/  (-> ${bench_out})"
 go test -bench='TraceExport|SpanRingAdd' -benchtime=10000x -run='^$' ./internal/obs/ |
+	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
+
+# WAL benches: durable append throughput with group commit on vs off (the
+# on/off ratio justifies the design) plus the fire-and-forget hot-path
+# append, and a full 100k-frame recovery replay (replay_ms must stay well
+# under the 2s acceptance bar).
+echo "==> go test -bench='WALAppend' ./internal/wal/  (-> ${bench_out})"
+go test -bench='WALAppend' -benchtime=2000x -run='^$' ./internal/wal/ |
+	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
+echo "==> go test -bench='RecoveryReplay' ./internal/wal/  (-> ${bench_out})"
+go test -bench='RecoveryReplay' -benchtime=2x -run='^$' ./internal/wal/ |
 	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
 
 # Audit-overhead bench: the disabled shadow auditor must stay a pointer
@@ -139,6 +158,44 @@ rm -f "${serve_bin}" "${snap_file}"
 echo "==> tracing gate: validate JSONL trace export"
 go run ./scripts/tracecheck "${trace_dir}"
 rm -rf "${trace_dir}"
+trap - EXIT
+
+# Durability smoke: the end-to-end kill -9 story. First life: asqp-serve with
+# a WAL and a snapshot path takes live traffic (drift observation on, so the
+# log fills with served and drift frames), then dies by SIGKILL — no drain,
+# no WAL close, a real torn tail. Second life: the same binary
+# restarts from the same snapshot + WAL dir (retraining off so the replayed
+# drift evidence is still visible in /stats when loadgen checks), and
+# asqp-loadgen -expect-recovery fails the gate unless /stats reports a
+# completed recovery with replayed frames and consistent counters.
+echo "==> durability smoke: kill -9 asqp-serve, restart, verify WAL recovery  (-> ${bench_out})"
+serve_port=18480
+serve_bin="$(mktemp -t asqp-serve.XXXXXX)"
+wal_dir="$(mktemp -d -t asqp-wal.XXXXXX)"
+snap_file="$(mktemp -t asqp-snap.XXXXXX)"
+go build -o "${serve_bin}" ./cmd/asqp-serve
+"${serve_bin}" -addr "localhost:${serve_port}" -scale 0.02 -k 150 -light \
+	-drift-confidence 0.15 -wal-dir "${wal_dir}" -save "${snap_file}" \
+	-log warn >/dev/null &
+serve_pid=$!
+trap 'kill -9 "${serve_pid}" 2>/dev/null || true; rm -f "${serve_bin}" "${snap_file}"; rm -rf "${wal_dir}"' EXIT
+go run ./cmd/asqp-loadgen -url "http://localhost:${serve_port}" \
+	-clients 4 -duration 3s \
+	-label DurabilityPreKill -json "${bench_out}"
+sleep 1 # let the group-commit syncer land the last async frames
+kill -9 "${serve_pid}" 2>/dev/null || true
+wait "${serve_pid}" 2>/dev/null || true
+"${serve_bin}" -addr "localhost:${serve_port}" -load "${snap_file}" \
+	-drift-confidence 0.15 -wal-dir "${wal_dir}" -save "${snap_file}" \
+	-log warn >/dev/null &
+serve_pid=$!
+go run ./cmd/asqp-loadgen -url "http://localhost:${serve_port}" \
+	-clients 2 -duration 2s -expect-recovery \
+	-label DurabilityPostRecovery -json "${bench_out}"
+kill -TERM "${serve_pid}" 2>/dev/null || true
+wait "${serve_pid}" 2>/dev/null || true
+rm -f "${serve_bin}" "${snap_file}"
+rm -rf "${wal_dir}"
 trap - EXIT
 
 # Perf regression gate: compare the scan-heavy benchmarks (vectorized scans,
