@@ -60,6 +60,10 @@ type result struct {
 	// reported in /stats.
 	RecoveryFramesReplayed int64 `json:"recovery_frames_replayed,omitempty"`
 	RecoveryDriftRestored  int64 `json:"recovery_drift_restored,omitempty"`
+	// SLOFastBurn and DiagBundles record the slo-burn outcome: which SLO hit
+	// fast_burn and how many flight-recorder bundles exist afterwards.
+	SLOFastBurn string `json:"slo_fast_burn,omitempty"`
+	DiagBundles int64  `json:"diag_bundles,omitempty"`
 }
 
 type queryList []string
@@ -79,15 +83,17 @@ func main() {
 	label := flag.String("label", "LoadgenServe", "benchmark name recorded in the JSON output")
 	trace := flag.Bool("traceparent", true, "send a W3C traceparent header per request and check the server echoes the trace ID")
 	quality := flag.Bool("quality", false, "after the run, fetch /qualityz and fail unless the audit block is well-formed")
-	scenario := flag.String("scenario", "", "traffic scenario: empty (steady mix) or drift-storm (shift the query mix mid-run, then require a completed retrain or clean backoff)")
+	scenario := flag.String("scenario", "", "traffic scenario: empty (steady mix), drift-storm (shift the query mix mid-run, then require a completed retrain or clean backoff), or slo-burn (steady traffic against an impossible latency target; require a fast_burn on /sloz plus a flight-recorder bundle)")
 	retrainWait := flag.Duration("retrain-wait", 45*time.Second, "drift-storm: how long to wait after the run for the server's retrain to reach a terminal state")
+	sloGate := flag.Bool("slo-gate", false, "after the run, fetch /sloz and fail unless the page is well-formed and no SLO is fast-burning")
+	sloBurnWait := flag.Duration("slo-burn-wait", 30*time.Second, "slo-burn: how long to wait for fast_burn and a captured bundle after the run")
 	expectRecovery := flag.Bool("expect-recovery", false, "require the server's /stats to report a completed WAL recovery with replayed frames (kill-and-restart smoke)")
 	var queries queryList
 	flag.Var(&queries, "query", "query to fire (repeatable; defaults to an IMDB mix)")
 	flag.Parse()
 
-	if *scenario != "" && *scenario != "drift-storm" {
-		fatal(fmt.Errorf("unknown scenario %q (want drift-storm)", *scenario))
+	if *scenario != "" && *scenario != "drift-storm" && *scenario != "slo-burn" {
+		fatal(fmt.Errorf("unknown scenario %q (want drift-storm or slo-burn)", *scenario))
 	}
 	if len(queries) == 0 {
 		queries = queryList{
@@ -223,6 +229,19 @@ func main() {
 		}
 		res.RetrainSwaps = swaps
 		res.Generation = gen
+	}
+	if *scenario == "slo-burn" {
+		burning, bundles, err := checkSLOBurn(client, *url, *sloBurnWait)
+		if err != nil {
+			fatal(err)
+		}
+		res.SLOFastBurn = burning
+		res.DiagBundles = bundles
+	}
+	if *sloGate {
+		if err := checkSLOGate(client, *url); err != nil {
+			fatal(err)
+		}
 	}
 	if *expectRecovery {
 		res.RecoveryFramesReplayed = recFrames
@@ -474,6 +493,153 @@ func checkRecovery(client *http.Client, base string) (frames, drift int64, err e
 	fmt.Printf("recovery: %d segments, %d frames replayed (%d drift restored, %d served), %d dropped, %d torn bytes, %.1fms\n",
 		r.Segments, r.FramesReplayed, r.DriftRestored, r.ServedSeen, r.FramesDropped, r.TruncatedBytes, r.WallMs)
 	return r.FramesReplayed, r.DriftRestored, nil
+}
+
+// slozPage is the subset of /sloz the load generator validates.
+type slozPage struct {
+	Enabled bool `json:"enabled"`
+	SLOs    []struct {
+		Name           string  `json:"name"`
+		Kind           string  `json:"kind"`
+		State          string  `json:"state"`
+		BudgetConsumed float64 `json:"budget_consumed"`
+		Burns          []struct {
+			Window    string  `json:"window"`
+			ErrorRate float64 `json:"error_rate"`
+			Burn      float64 `json:"burn"`
+			Events    int64   `json:"events"`
+		} `json:"burns"`
+	} `json:"slos"`
+	FastBurning []string `json:"fast_burning"`
+}
+
+func fetchSloz(client *http.Client, base string) (slozPage, error) {
+	var page slozPage
+	resp, err := client.Get(base + "/sloz")
+	if err != nil {
+		return page, fmt.Errorf("/sloz: %w", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20))
+	if err != nil {
+		return page, fmt.Errorf("/sloz: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		return page, fmt.Errorf("/sloz: HTTP %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(body, &page); err != nil {
+		return page, fmt.Errorf("/sloz: bad JSON: %w", err)
+	}
+	return page, nil
+}
+
+// validateSloz checks the structural invariants of an SLO page: four burn
+// windows per SLO, error rates and budget in [0,1], burns non-negative, and
+// a known state label.
+func validateSloz(page slozPage) error {
+	if !page.Enabled {
+		return fmt.Errorf("/sloz: SLO engine not enabled on the server")
+	}
+	known := map[string]bool{"no_data": true, "ok": true, "slow_burn": true, "fast_burn": true}
+	for _, s := range page.SLOs {
+		if !known[s.State] {
+			return fmt.Errorf("/sloz: SLO %q has unknown state %q", s.Name, s.State)
+		}
+		if len(s.Burns) != 4 {
+			return fmt.Errorf("/sloz: SLO %q has %d burn windows, want 4", s.Name, len(s.Burns))
+		}
+		if s.BudgetConsumed < 0 || s.BudgetConsumed > 1 {
+			return fmt.Errorf("/sloz: SLO %q budget_consumed %v outside [0,1]", s.Name, s.BudgetConsumed)
+		}
+		for _, b := range s.Burns {
+			if b.ErrorRate < 0 || b.ErrorRate > 1 || b.Burn < 0 || b.Events < 0 {
+				return fmt.Errorf("/sloz: SLO %q window %s malformed: %+v", s.Name, b.Window, b)
+			}
+		}
+	}
+	return nil
+}
+
+// checkSLOGate passes when the SLO page is well-formed and nothing is
+// fast-burning — the steady-state gate for healthy smoke runs.
+func checkSLOGate(client *http.Client, base string) error {
+	page, err := fetchSloz(client, base)
+	if err != nil {
+		return err
+	}
+	if err := validateSloz(page); err != nil {
+		return err
+	}
+	for _, s := range page.SLOs {
+		if s.State == "fast_burn" {
+			return fmt.Errorf("slo-gate: SLO %q is fast-burning (budget %.0f%% consumed)", s.Name, 100*s.BudgetConsumed)
+		}
+	}
+	if len(page.FastBurning) > 0 {
+		return fmt.Errorf("slo-gate: fast_burning = %v", page.FastBurning)
+	}
+	fmt.Printf("slo-gate: %d SLO(s) healthy\n", len(page.SLOs))
+	return nil
+}
+
+// checkSLOBurn is the slo-burn scenario's verdict: the run's traffic (fired
+// at a server with an impossible latency target and tiny windows) must push
+// some SLO into fast_burn, and the flight recorder must have captured at
+// least one bundle for it.
+func checkSLOBurn(client *http.Client, base string, wait time.Duration) (burning string, bundles int64, err error) {
+	deadline := time.Now().Add(wait)
+	for {
+		page, perr := fetchSloz(client, base)
+		if perr != nil {
+			return "", 0, perr
+		}
+		if verr := validateSloz(page); verr != nil {
+			return "", 0, verr
+		}
+		if len(page.FastBurning) > 0 {
+			burning = page.FastBurning[0]
+			break
+		}
+		if time.Now().After(deadline) {
+			return "", 0, fmt.Errorf("slo-burn: no SLO reached fast_burn within %s: %+v", wait, page.SLOs)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+	// The fast-burn transition triggers an async capture; poll /debugz for it.
+	for {
+		resp, derr := client.Get(base + "/debugz")
+		if derr != nil {
+			return "", 0, fmt.Errorf("/debugz: %w", derr)
+		}
+		body, rerr := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+		resp.Body.Close()
+		if rerr != nil {
+			return "", 0, fmt.Errorf("/debugz: %w", rerr)
+		}
+		var page struct {
+			Enabled bool `json:"enabled"`
+			Status  struct {
+				Captures   int64    `json:"captures"`
+				LastReason string   `json:"last_reason"`
+				Bundles    []string `json:"bundles"`
+			} `json:"status"`
+		}
+		if uerr := json.Unmarshal(body, &page); uerr != nil {
+			return "", 0, fmt.Errorf("/debugz: bad JSON: %w", uerr)
+		}
+		if !page.Enabled {
+			return "", 0, fmt.Errorf("slo-burn needs a server started with -diag-dir (flight recorder disabled)")
+		}
+		if page.Status.Captures > 0 {
+			fmt.Printf("slo-burn: %q fast-burning; %d bundle(s) captured (last reason %q)\n",
+				burning, page.Status.Captures, page.Status.LastReason)
+			return burning, page.Status.Captures, nil
+		}
+		if time.Now().After(deadline) {
+			return "", 0, fmt.Errorf("slo-burn: fast_burn reached but no bundle captured within %s", wait)
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
 }
 
 // traceIDMatches checks that a response either omits trace_id (tracing off

@@ -38,6 +38,7 @@ import (
 	"asqprl/internal/obs"
 	"asqprl/internal/retrain"
 	"asqprl/internal/server"
+	"asqprl/internal/slo"
 	"asqprl/internal/table"
 	"asqprl/internal/wal"
 	"asqprl/internal/workload"
@@ -71,7 +72,13 @@ func main() {
 	traceSlow := flag.Duration("trace-slow", 500*time.Millisecond, "latency above which a trace counts as slow and is always kept")
 	auditSample := flag.Float64("audit-sample", 0, "fraction of approx-served/degraded answers shadow-audited against the full database (0 = off)")
 	auditWorkers := flag.Int("audit-workers", 1, "low-priority audit worker pool size")
-	qualitySLO := flag.Float64("quality-slo-p95", 0, "quality SLO: audited relative error above this burns error budget and logs a warning (0 = off)")
+	qualitySLOOld := flag.Float64("quality-slo-p95", 0, "deprecated alias for -slo-quality-p95")
+	sloQuality := flag.Float64("slo-quality-p95", 0, "quality SLO: p95 relative-error target for shadow-audited answers; burn-rate alerting on the 0.95 objective (0 = off)")
+	sloLatency := flag.Duration("slo-latency-p99", 0, "latency SLO: p99 request-latency target; burn-rate alerting on the 0.99 objective (0 = off)")
+	sloAvail := flag.Float64("slo-availability", 0, "availability SLO objective in (0,1), e.g. 0.999: fraction of requests answered without degradation/error/shedding (0 = off)")
+	sloWindows := flag.String("slo-windows", "", "burn-rate windows fast-short,fast-long,slow-short,slow-long (default 1m,5m,30m,6h)")
+	diagDir := flag.String("diag-dir", "", "flight-recorder directory: capture a diagnostic bundle on SLO fast-burn or /debugz?capture=1 (empty = off)")
+	diagMinInterval := flag.Duration("diag-min-interval", time.Minute, "rate limit between unforced flight-recorder captures")
 	driftObserve := flag.Bool("drift-observe", true, "feed served queries into the interest-drift detector")
 	driftConfidence := flag.Float64("drift-confidence", 0, "deviation confidence (1 - similarity) above which a served query counts as drifted (0 = config default)")
 	driftCount := flag.Int("drift-count", 0, "drifted queries that trigger fine-tuning/retraining (0 = config default)")
@@ -89,6 +96,25 @@ func main() {
 		obs.EnableLogging(os.Stderr, obs.ParseLevel(*logLevel))
 	}
 	obs.SetEnabled(true)
+
+	// -quality-slo-p95 is the pre-SLO-engine spelling; it keeps working but
+	// -slo-quality-p95 wins when both are set.
+	if *qualitySLOOld > 0 {
+		fmt.Fprintln(os.Stderr, "asqp-serve: -quality-slo-p95 is deprecated; use -slo-quality-p95")
+		if *sloQuality == 0 {
+			*sloQuality = *qualitySLOOld
+		}
+	}
+	windows, err := parseSLOWindows(*sloWindows)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Process vitals (goroutines, heap, GC pauses, uptime) ride the same
+	// registry as application metrics: windowed, scraped, bundled.
+	runtimeSampler := obs.NewRuntimeSampler(obs.Default(), 10*time.Second)
+	runtimeSampler.Start()
+	defer runtimeSampler.Close()
 
 	// Tracing is always configured for the serving binary: the tail sampler
 	// keeps every error/degraded/slow trace in memory for /tracez, and
@@ -163,8 +189,14 @@ func main() {
 		Seed:            *seed,
 		AuditSample:     *auditSample,
 		AuditWorkers:    *auditWorkers,
-		QualitySLOP95:   *qualitySLO,
+		QualitySLOP95:   *sloQuality,
 		DriftObserve:    *driftObserve,
+		SLOAvailability: *sloAvail,
+		SLOLatencyP99:   *sloLatency,
+		SLOQualityP95:   *sloQuality,
+		SLOWindows:      windows,
+		DiagDir:         *diagDir,
+		DiagMinInterval: *diagMinInterval,
 		Retrain: retrain.Config{
 			Enabled:        *retrainOn,
 			Interval:       *retrainInterval,
@@ -189,10 +221,17 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("serving on http://%s (/query, /healthz, /readyz, /stats, /qualityz, /retrainz); not ready until the system loads\n", bound)
+	fmt.Printf("serving on http://%s (/query, /healthz, /readyz, /stats, /qualityz, /retrainz, /sloz, /debugz); not ready until the system loads\n", bound)
 	if *auditSample > 0 {
 		fmt.Printf("shadow auditing %.0f%% of approx-served answers (workers=%d, slo-p95=%g)\n",
-			*auditSample*100, *auditWorkers, *qualitySLO)
+			*auditSample*100, *auditWorkers, *sloQuality)
+	}
+	if *sloAvail > 0 || *sloLatency > 0 || *sloQuality > 0 {
+		fmt.Printf("slo engine armed (availability=%g, latency-p99=%s, quality-p95=%g)\n",
+			*sloAvail, *sloLatency, *sloQuality)
+	}
+	if *diagDir != "" {
+		fmt.Printf("flight recorder armed: bundles in %s on SLO fast-burn or /debugz?capture=1\n", *diagDir)
 	}
 	if *retrainOn {
 		fmt.Printf("background retraining armed (margin=%g, attempt timeout=%s, rollback window=%s)\n",
@@ -376,6 +415,27 @@ func loadWorkload(path string, db *table.Database, seed int64) (workload.Workloa
 		return nil, err
 	}
 	return workload.New(sqls...)
+}
+
+// parseSLOWindows parses "fast-short,fast-long,slow-short,slow-long" (e.g.
+// "1m,5m,30m,6h"); empty keeps the engine defaults.
+func parseSLOWindows(s string) (slo.Windows, error) {
+	var w slo.Windows
+	if s == "" {
+		return w, nil
+	}
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return w, fmt.Errorf("-slo-windows wants 4 comma-separated durations, got %q", s)
+	}
+	for i, dst := range []*time.Duration{&w.FastShort, &w.FastLong, &w.SlowShort, &w.SlowLong} {
+		d, err := time.ParseDuration(strings.TrimSpace(parts[i]))
+		if err != nil || d <= 0 {
+			return w, fmt.Errorf("-slo-windows element %d (%q): need a positive duration", i+1, parts[i])
+		}
+		*dst = d
+	}
+	return w, nil
 }
 
 func fatal(err error) {

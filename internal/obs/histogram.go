@@ -127,6 +127,29 @@ func (h *Histogram) Exemplars() []ExemplarSnapshot {
 	return out
 }
 
+// ExemplarAbove returns the most recent retained exemplar whose bucket can
+// hold values above v — the concrete trace behind a threshold violation.
+// ok is false when no such exemplar is retained.
+func (h *Histogram) ExemplarAbove(v float64) (ExemplarSnapshot, bool) {
+	var best ExemplarSnapshot
+	var found bool
+	for i := 0; i <= numBuckets; i++ {
+		_, hi := bucketRange(i)
+		if hi <= v {
+			continue
+		}
+		ex := h.exemplars[i].Load()
+		if ex == nil || ex.Value <= v {
+			continue
+		}
+		if !found || ex.When.After(best.When) {
+			best = ExemplarSnapshot{LE: hi, Value: ex.Value, TraceID: ex.TraceID.String(), When: ex.When}
+			found = true
+		}
+	}
+	return best, found
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 

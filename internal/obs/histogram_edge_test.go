@@ -122,7 +122,7 @@ func TestHistogramExemplarConcurrentReadWrite(t *testing.T) {
 					}
 					_ = h.Snapshot()
 					sb.Reset()
-					_ = writePromHistogram(&sb, "x", h)
+					_ = writePromHistogram(&sb, "x", "x", h)
 				}
 			}
 		}()
@@ -181,7 +181,7 @@ func TestPromExemplarLabelEscaping(t *testing.T) {
 	tid := NewTraceID()
 	h.ObserveExemplar(2e-6, tid)
 	var sb strings.Builder
-	if err := writePromHistogram(&sb, "asqp_audit_relative_error", h); err != nil {
+	if err := writePromHistogram(&sb, "asqp_audit_relative_error", "asqp/audit/relative_error", h); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()
@@ -190,7 +190,7 @@ func TestPromExemplarLabelEscaping(t *testing.T) {
 	}
 	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
 		switch {
-		case strings.HasPrefix(line, "# TYPE"):
+		case strings.HasPrefix(line, "# TYPE"), strings.HasPrefix(line, "# HELP"):
 		case strings.Contains(line, "_bucket{le=\""):
 			// Bucket lines: `name_bucket{le="..."} N` with an optional
 			// ` # {...} v ts` exemplar suffix; the le label must be quoted.

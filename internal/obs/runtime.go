@@ -1,0 +1,120 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// Runtime metric names published by the sampler. Gauges are point-in-time
+// (the TimeSeries sampler then gives them windows); GC pauses feed a
+// histogram so p99 pause is queryable like any latency.
+const (
+	MetricGoroutines     = "runtime/goroutines"
+	MetricHeapInuse      = "runtime/heap_inuse_bytes"
+	MetricHeapAlloc      = "runtime/heap_alloc_bytes"
+	MetricGCCount        = "runtime/gc_count"
+	MetricUptimeSeconds  = "runtime/uptime_seconds"
+	MetricGCPauseSeconds = "runtime/gc_pause_seconds"
+)
+
+// RuntimeSampler publishes Go runtime health (goroutine count, heap in use,
+// GC pauses, uptime) into a Registry on an interval, so process vitals ride
+// the same pipeline as application metrics — windowed by TimeSeries, scraped
+// at /metrics?format=prom, and captured into flight-recorder bundles.
+//
+// ReadMemStats briefly stops the world, so the default cadence is 10s; the
+// sampler is not meant for sub-second intervals. A nil *RuntimeSampler is a
+// valid no-op.
+type RuntimeSampler struct {
+	reg      *Registry
+	interval time.Duration
+	started  time.Time
+
+	lastNumGC uint32
+	stop      chan struct{}
+	done      chan struct{}
+	running   bool
+}
+
+// NewRuntimeSampler builds a sampler over reg (nil = the default registry).
+// interval ≤ 0 defaults to 10s.
+func NewRuntimeSampler(reg *Registry, interval time.Duration) *RuntimeSampler {
+	if reg == nil {
+		reg = Default()
+	}
+	if interval <= 0 {
+		interval = 10 * time.Second
+	}
+	return &RuntimeSampler{
+		reg:      reg,
+		interval: interval,
+		started:  time.Now(),
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+}
+
+// SampleNow takes one sample synchronously (also used by tests).
+func (s *RuntimeSampler) SampleNow() {
+	if s == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+
+	s.reg.Gauge(MetricGoroutines).Set(float64(runtime.NumGoroutine()))
+	s.reg.Gauge(MetricHeapInuse).Set(float64(ms.HeapInuse))
+	s.reg.Gauge(MetricHeapAlloc).Set(float64(ms.HeapAlloc))
+	s.reg.Gauge(MetricGCCount).Set(float64(ms.NumGC))
+	s.reg.Gauge(MetricUptimeSeconds).Set(time.Since(s.started).Seconds())
+
+	// Feed each GC pause since the last sample into the pause histogram.
+	// MemStats keeps the most recent 256 pauses in a ring indexed by NumGC;
+	// if more than 256 cycles ran between samples the overwritten ones are
+	// lost (the gauge still shows the true cycle count).
+	if n := ms.NumGC; n > s.lastNumGC {
+		first := s.lastNumGC + 1
+		if n-first >= uint32(len(ms.PauseNs)) {
+			first = n - uint32(len(ms.PauseNs)) + 1
+		}
+		h := s.reg.Histogram(MetricGCPauseSeconds)
+		for i := first; i <= n; i++ {
+			h.Observe(float64(ms.PauseNs[(i+255)%256]) / 1e9)
+		}
+		s.lastNumGC = n
+	}
+}
+
+// Start launches the background sampling loop (one immediate sample, then
+// one per interval). Idempotent; Close stops it.
+func (s *RuntimeSampler) Start() {
+	if s == nil || s.running {
+		return
+	}
+	s.running = true
+	go func() {
+		defer close(s.done)
+		s.SampleNow()
+		t := time.NewTicker(s.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-s.stop:
+				return
+			case <-t.C:
+				s.SampleNow()
+			}
+		}
+	}()
+}
+
+// Close stops the loop and waits for it to exit. Safe to call without Start
+// and more than once.
+func (s *RuntimeSampler) Close() {
+	if s == nil || !s.running {
+		return
+	}
+	s.running = false
+	close(s.stop)
+	<-s.done
+}

@@ -185,6 +185,14 @@ type Hooks struct {
 	// monitoring — the window still runs so tests and operators see the
 	// state, but nothing can trigger).
 	Quality QualityProbe
+	// QualityAlarm, when set, supersedes Quality as the rollback trigger:
+	// instead of polling the raw worst-shape p95 and judging a regression
+	// against the pre-swap baseline, the window rolls back as soon as the
+	// serving layer's quality SLO reports fast-burn with evidence that
+	// postdates the swap (since > swap time). The SLO engine already owns
+	// windowing, budgets, and hysteresis, so the controller does not
+	// re-derive them.
+	QualityAlarm func() (burning bool, since time.Time, desc string)
 	// Journal receives lifecycle events for durable logging (optional). It is
 	// called synchronously from the controller goroutine; implementations
 	// that need durability (WAL append + fsync) should still be quick, and
@@ -572,7 +580,7 @@ func (c *Controller) attempt(inc *core.System, drifted workload.Workload) {
 
 	// Stage 6: rollback window. The incumbent stays retained (and unmutated)
 	// until the window expires clean; a quality regression republishes it.
-	if c.watchRollback(inc, baseP95, baseCompleted, baseOK) {
+	if c.watchRollback(inc, now, baseP95, baseCompleted, baseOK) {
 		span.Event("rolled_back")
 		return
 	}
@@ -587,11 +595,13 @@ func (c *Controller) attempt(inc *core.System, drifted workload.Workload) {
 	span.Event("committed")
 }
 
-// watchRollback holds the swapped-out incumbent for the rollback window,
-// polling the quality probe. It returns true when it rolled back. Regression
-// is judged only on evidence produced after the swap (completed count must
-// have advanced past the baseline).
-func (c *Controller) watchRollback(inc *core.System, baseP95 float64, baseCompleted int64, baseOK bool) bool {
+// watchRollback holds the swapped-out incumbent for the rollback window.
+// With a QualityAlarm hook it consumes the quality SLO state: rollback fires
+// when the SLO is fast-burning and entered that state after the swap.
+// Otherwise it polls the raw quality probe and judges a regression against
+// the pre-swap baseline (evidence must postdate the swap: completed count
+// advanced past the baseline). It returns true when it rolled back.
+func (c *Controller) watchRollback(inc *core.System, swapAt time.Time, baseP95 float64, baseCompleted int64, baseOK bool) bool {
 	deadline := time.Now().Add(c.cfg.RollbackWindow)
 	for {
 		select {
@@ -599,7 +609,13 @@ func (c *Controller) watchRollback(inc *core.System, baseP95 float64, baseComple
 			return false // closing: leave the candidate published
 		case <-time.After(c.cfg.RollbackCheck):
 		}
-		if c.hooks.Quality != nil {
+		if c.hooks.QualityAlarm != nil {
+			if burning, since, desc := c.hooks.QualityAlarm(); burning && since.After(swapAt) {
+				c.rollbackReason(inc, "quality SLO fast-burn since "+
+					since.Format(time.RFC3339Nano)+": "+desc)
+				return true
+			}
+		} else if c.hooks.Quality != nil {
 			p95, completed, ok := c.hooks.Quality()
 			fresh := completed > baseCompleted
 			base := baseP95
@@ -607,7 +623,9 @@ func (c *Controller) watchRollback(inc *core.System, baseP95 float64, baseComple
 				base = 0 // no pre-swap evidence: any post-swap error is new
 			}
 			if ok && fresh && p95 > base+c.cfg.RollbackRegression {
-				c.rollback(inc, base, p95)
+				c.rollbackReason(inc, fmt.Sprintf(
+					"quality regression: worst-shape p95 %.4f > baseline %.4f + %.4f",
+					p95, base, c.cfg.RollbackRegression))
 				return true
 			}
 		}
@@ -617,11 +635,11 @@ func (c *Controller) watchRollback(inc *core.System, baseP95 float64, baseComple
 	}
 }
 
-// rollback republishes the retained incumbent — byte-identical to what served
-// before the swap, since no retrain path ever mutates it — and re-persists it
-// so the on-disk snapshot matches what is live again. The failed batch is
-// discarded and the controller backs off before retraining.
-func (c *Controller) rollback(inc *core.System, baseP95, p95 float64) {
+// rollbackReason republishes the retained incumbent — byte-identical to what
+// served before the swap, since no retrain path ever mutates it — and
+// re-persists it so the on-disk snapshot matches what is live again. The
+// failed batch is discarded and the controller backs off before retraining.
+func (c *Controller) rollbackReason(inc *core.System, reason string) {
 	c.hooks.Publish(inc)
 	if c.cfg.SnapshotPath != "" {
 		if err := inc.SaveFile(c.cfg.SnapshotPath); err != nil {
@@ -632,8 +650,7 @@ func (c *Controller) rollback(inc *core.System, baseP95, p95 float64) {
 	c.mu.Lock()
 	c.st.Rollbacks++
 	c.st.LastOutcome = "rolled_back"
-	c.st.LastError = fmt.Sprintf("quality regression: worst-shape p95 %.4f > baseline %.4f + %.4f",
-		p95, baseP95, c.cfg.RollbackRegression)
+	c.st.LastError = reason
 	c.pending = nil
 	c.st.AttemptsThisBatch = 0
 	c.st.State = "idle"
@@ -643,8 +660,7 @@ func (c *Controller) rollback(inc *core.System, baseP95, p95 float64) {
 		obs.Default().Counter("retrain/rollbacks").Inc()
 	}
 	c.journal(Event{Name: "rolled_back", Persisted: c.cfg.SnapshotPath != ""})
-	obs.Logger().Warn("retrain rolled back to incumbent",
-		"post_swap_p95", p95, "baseline_p95", baseP95)
+	obs.Logger().Warn("retrain rolled back to incumbent", "reason", reason)
 }
 
 // fail records a failed attempt: the candidate is discarded (nothing to do —

@@ -1,8 +1,9 @@
 package retrain
 
 import (
-	"math"
 	"bytes"
+	"math"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -551,5 +552,54 @@ func TestRestoreRearmsBackoff(t *testing.T) {
 	c2.mu.Unlock()
 	if armed {
 		t.Fatal("Restore(0) armed a backoff")
+	}
+}
+
+// TestQualityAlarmSupersedesProbe wires the SLO-alarm rollback hook: the
+// window must consume it instead of the raw probe (which screams regression
+// the whole time and must be ignored), must not act on an alarm whose onset
+// predates the swap, and must roll back once the alarm postdates it.
+func TestQualityAlarmSupersedesProbe(t *testing.T) {
+	inc := fixture(t)
+	primeDrift(t, inc, 3)
+	h := newHost(inc)
+	h.setQuality(func() (float64, int64, bool) { return 0.9, 100, true })
+
+	var amu sync.Mutex
+	burning := true
+	since := time.Now().Add(-time.Hour) // stale: long before any swap
+	hooks := h.hooks()
+	hooks.QualityAlarm = func() (bool, time.Time, string) {
+		amu.Lock()
+		defer amu.Unlock()
+		return burning, since, "quality SLO fast-burn (test)"
+	}
+
+	cfg := testCfg()
+	cfg.RollbackWindow = 2 * time.Second
+	c := New(cfg, hooks)
+	c.Start()
+	defer c.Close()
+	if err := c.Force(); err != nil {
+		t.Fatal(err)
+	}
+	waitStatus(t, c, 2*time.Minute, func(st Status) bool { return st.Swaps == 1 })
+
+	// Several rollback checks pass: neither the stale alarm nor the
+	// superseded raw probe may trigger.
+	time.Sleep(150 * time.Millisecond)
+	if st := c.Status(); st.Rollbacks != 0 {
+		t.Fatalf("rolled back on a stale alarm or the superseded probe: %+v", st)
+	}
+
+	amu.Lock()
+	since = time.Now()
+	amu.Unlock()
+	st := waitStatus(t, c, 10*time.Second, func(st Status) bool { return st.Rollbacks == 1 })
+	if st.LastOutcome != "rolled_back" || !strings.Contains(st.LastError, "quality SLO fast-burn") {
+		t.Fatalf("outcome %q, err %q", st.LastOutcome, st.LastError)
+	}
+	if h.incumbent() != inc {
+		t.Fatal("rollback did not restore the incumbent pointer")
 	}
 }

@@ -30,6 +30,17 @@ type RecoveryInfo struct {
 	// ReplayWallMs is how long applying the tail took (the scan time is in
 	// RecoveryStats.WallMs).
 	ReplayWallMs float64 `json:"replay_wall_ms"`
+	// DiagBundles counts flight-recorder bundle records in the replayed
+	// tail. Non-zero means the previous process captured a diagnostic
+	// bundle (an SLO fast-burn or an operator capture) after its last
+	// checkpoint and then died — it crashed while alerting. LastDiagReason
+	// and LastDiagBundle identify the most recent capture so the operator
+	// knows which on-disk bundle to open first.
+	DiagBundles    int    `json:"diag_bundles,omitempty"`
+	LastDiagReason string `json:"last_diag_reason,omitempty"`
+	LastDiagBundle string `json:"last_diag_bundle,omitempty"`
+	// CrashedWhileAlerting is the headline flag derived from DiagBundles.
+	CrashedWhileAlerting bool `json:"crashed_while_alerting,omitempty"`
 }
 
 // BeginRecovery puts the server into the recovering state: /readyz reports
@@ -72,6 +83,10 @@ func (s *Server) Recover(sys *core.System, rec wal.Recovery) RecoveryInfo {
 			info.ServedSeen++
 		case wal.TypeDrift:
 			pendingDrift = append(pendingDrift, r)
+		case wal.TypeDiag:
+			info.DiagBundles++
+			info.LastDiagReason = r.Event
+			info.LastDiagBundle = r.Path
 		case wal.TypeRetrain:
 			switch r.Event {
 			case "swapped", "rolled_back", "gave_up":
@@ -103,6 +118,14 @@ func (s *Server) Recover(sys *core.System, rec wal.Recovery) RecoveryInfo {
 	if attempts > 0 && s.ret != nil {
 		s.ret.Restore(attempts)
 		info.RetrainAttemptsRestored = attempts
+	}
+	if info.DiagBundles > 0 {
+		info.CrashedWhileAlerting = true
+		obs.Logger().Warn("recovery: crashed while alerting — a diagnostic bundle "+
+			"was captured after the last checkpoint; inspect it before trusting this restart",
+			"bundles", info.DiagBundles,
+			"last_reason", info.LastDiagReason,
+			"last_bundle", info.LastDiagBundle)
 	}
 
 	info.ReplayWallMs = float64(time.Since(start).Microseconds()) / 1e3

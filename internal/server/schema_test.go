@@ -1,0 +1,215 @@
+package server
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"asqprl/internal/audit"
+	"asqprl/internal/slo"
+)
+
+// The golden-schema tests pin the wire shape of the operator surfaces
+// (/stats, /qualityz, /sloz). They derive a deterministic field-path →
+// JSON-type listing from the Go response types via reflection, so any
+// rename, retag, or type change of a field an operator's dashboard might
+// scrape shows up as a readable golden diff — and an intentional change is
+// a one-flag regen:
+//
+//	go test ./internal/server -run TestSchema -update-golden
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden schema files from the current types")
+
+// jsonSchema renders the JSON shape of t as sorted "path: kind" lines.
+func jsonSchema(t reflect.Type) string {
+	var lines []string
+	walkSchema(t, "$", map[reflect.Type]bool{}, &lines)
+	sort.Strings(lines)
+	return strings.Join(lines, "\n") + "\n"
+}
+
+func walkSchema(t reflect.Type, path string, seen map[reflect.Type]bool, out *[]string) {
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	switch t.Kind() {
+	case reflect.Struct:
+		// time.Time and similar marshal to scalars, not objects.
+		if t.PkgPath() == "time" {
+			*out = append(*out, path+": string(time)")
+			return
+		}
+		if seen[t] {
+			*out = append(*out, path+": object(recursive "+t.Name()+")")
+			return
+		}
+		seen[t] = true
+		defer delete(seen, t)
+		*out = append(*out, path+": object")
+		for i := 0; i < t.NumField(); i++ {
+			f := t.Field(i)
+			if !f.IsExported() {
+				continue
+			}
+			tag := f.Tag.Get("json")
+			name, opts, _ := strings.Cut(tag, ",")
+			if name == "-" {
+				continue
+			}
+			if name == "" {
+				if f.Anonymous {
+					// Embedded struct: fields inline at this level.
+					walkEmbedded(f.Type, path, seen, out)
+					continue
+				}
+				name = f.Name
+			}
+			child := path + "." + name
+			if strings.Contains(opts, "omitempty") {
+				child += "?"
+			}
+			walkSchema(f.Type, child, seen, out)
+		}
+	case reflect.Map:
+		*out = append(*out, path+": object(map)")
+		walkSchema(t.Elem(), path+".*", seen, out)
+	case reflect.Slice, reflect.Array:
+		if t.Elem().Kind() == reflect.Uint8 {
+			*out = append(*out, path+": string(base64)")
+			return
+		}
+		*out = append(*out, path+": array")
+		walkSchema(t.Elem(), path+"[]", seen, out)
+	case reflect.String:
+		*out = append(*out, path+": string")
+	case reflect.Bool:
+		*out = append(*out, path+": bool")
+	case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+		reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64:
+		*out = append(*out, path+": number(int)")
+	case reflect.Float32, reflect.Float64:
+		*out = append(*out, path+": number")
+	case reflect.Interface:
+		*out = append(*out, path+": any")
+	default:
+		*out = append(*out, path+": "+t.Kind().String())
+	}
+}
+
+// walkEmbedded inlines an embedded struct's fields at the parent level,
+// matching encoding/json's flattening of anonymous fields.
+func walkEmbedded(t reflect.Type, path string, seen map[reflect.Type]bool, out *[]string) {
+	for t.Kind() == reflect.Pointer {
+		t = t.Elem()
+	}
+	if t.Kind() != reflect.Struct {
+		return
+	}
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if !f.IsExported() {
+			continue
+		}
+		tag := f.Tag.Get("json")
+		name, opts, _ := strings.Cut(tag, ",")
+		if name == "-" {
+			continue
+		}
+		if name == "" {
+			if f.Anonymous {
+				walkEmbedded(f.Type, path, seen, out)
+				continue
+			}
+			name = f.Name
+		}
+		child := path + "." + name
+		if strings.Contains(opts, "omitempty") {
+			child += "?"
+		}
+		walkSchema(f.Type, child, seen, out)
+	}
+}
+
+func checkGolden(t *testing.T, name string, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", path)
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read %s: %v (regen with -update-golden)", path, err)
+	}
+	if string(want) != got {
+		t.Fatalf("schema drift in %s — a dashboard-visible field changed shape.\n"+
+			"If intentional, regen with: go test ./internal/server -run TestSchema -update-golden\n%s",
+			name, schemaDiff(string(want), got))
+	}
+}
+
+// schemaDiff renders the line-level delta between two schema listings.
+func schemaDiff(want, got string) string {
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(want, "\n") {
+		wantSet[l] = true
+	}
+	gotSet := map[string]bool{}
+	for _, l := range strings.Split(got, "\n") {
+		gotSet[l] = true
+	}
+	var b strings.Builder
+	for _, l := range strings.Split(want, "\n") {
+		if l != "" && !gotSet[l] {
+			fmt.Fprintf(&b, "  - %s\n", l)
+		}
+	}
+	for _, l := range strings.Split(got, "\n") {
+		if l != "" && !wantSet[l] {
+			fmt.Fprintf(&b, "  + %s\n", l)
+		}
+	}
+	return b.String()
+}
+
+func TestSchemaStats(t *testing.T) {
+	checkGolden(t, "stats_schema", jsonSchema(reflect.TypeOf(Stats{})))
+}
+
+func TestSchemaQualityz(t *testing.T) {
+	checkGolden(t, "qualityz_schema", jsonSchema(reflect.TypeOf(audit.QualityPage{})))
+}
+
+func TestSchemaSloz(t *testing.T) {
+	checkGolden(t, "sloz_schema", jsonSchema(reflect.TypeOf(SlozPage{})))
+}
+
+func TestSchemaDebugz(t *testing.T) {
+	checkGolden(t, "debugz_schema", jsonSchema(reflect.TypeOf(DebugzPage{})))
+}
+
+// TestSchemaCoversSLOStatus guards against the walker silently skipping the
+// nested slo.Status shape (e.g. if the page type changes to interface{}).
+func TestSchemaCoversSLOStatus(t *testing.T) {
+	s := jsonSchema(reflect.TypeOf(slo.Page{}))
+	for _, want := range []string{
+		"$.slos?[].state: string",
+		"$.slos?[].burns[].burn: number",
+		"$.slos?[].budget_consumed: number",
+		"$.windows.fast_short: string",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("slo page schema missing %q:\n%s", want, s)
+		}
+	}
+}

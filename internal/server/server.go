@@ -32,9 +32,11 @@ import (
 
 	"asqprl/internal/audit"
 	"asqprl/internal/core"
+	"asqprl/internal/diag"
 	"asqprl/internal/engine"
 	"asqprl/internal/obs"
 	"asqprl/internal/retrain"
+	"asqprl/internal/slo"
 	"asqprl/internal/sqlparse"
 	"asqprl/internal/table"
 	"asqprl/internal/wal"
@@ -104,6 +106,36 @@ type Config struct {
 	// fsync; retrain events use the durable append, and a persisted swap or
 	// rollback checkpoints the log against the snapshot generation.
 	WAL *wal.Log
+
+	// SLOAvailability is the availability objective in (0,1) — the target
+	// fraction of requests answered without degradation, error, or shedding
+	// (e.g. 0.999). 0 disables the availability SLO.
+	SLOAvailability float64
+	// SLOLatencyP99 is the p99 request-latency target; requests slower than
+	// this burn error budget against a 0.99 objective. 0 disables.
+	SLOLatencyP99 time.Duration
+	// SLOQualityP95 is the p95 relative-error target for shadow-audited
+	// answers; audits above it burn budget against a 0.95 objective. It needs
+	// auditing on (AuditSample > 0) to see data. 0 disables.
+	SLOQualityP95 float64
+	// SLOWindows overrides the burn-rate windows (zero fields default to
+	// 1m/5m/30m/6h). Tests shrink them to seconds.
+	SLOWindows slo.Windows
+	// SLOInterval overrides the telemetry sample interval (default:
+	// min(FastShort/4, 5s)).
+	SLOInterval time.Duration
+	// SLOClock injects the SLO/diag clock for deterministic tests. When set,
+	// the background sampler ticker is NOT started — drive
+	// TimeSeries().SampleNow() manually.
+	SLOClock func() time.Time
+	// DiagDir enables the flight recorder: on SLO fast-burn (or
+	// /debugz?capture=1) a diagnostic bundle is captured here. Empty
+	// disables — the nil recorder adds nothing to any path.
+	DiagDir string
+	// DiagMinInterval rate-limits unforced captures (default 1m);
+	// DiagMaxBundles caps retained bundles (default 8).
+	DiagMinInterval time.Duration
+	DiagMaxBundles  int
 }
 
 func (c Config) normalize() Config {
@@ -157,6 +189,12 @@ type Server struct {
 	aud  *audit.Auditor // nil when AuditSample is 0 — the hot path stays free
 	ret  *retrain.Controller
 	wal  *wal.Log // nil when durability is off — appends are no-ops
+
+	// ts/sloEng/rec are the windowed-telemetry sampler, burn-rate engine,
+	// and flight recorder (all nil unless configured — nil receivers no-op).
+	ts     *obs.TimeSeries
+	sloEng *slo.Engine
+	rec    *diag.Recorder
 
 	// recovering gates readiness while the WAL tail replays at startup;
 	// recInfo holds the finished replay's stats for /stats.
@@ -231,6 +269,7 @@ func New(sys *core.System, cfg Config) *Server {
 			Seed:       cfg.Seed,
 		},
 	)
+	s.initSLO()
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 5 * time.Second,
@@ -243,6 +282,11 @@ func New(sys *core.System, cfg Config) *Server {
 			},
 			Publish: s.SetSystem,
 			Quality: s.aud.WorstShapeP95,
+		}
+		if s.sloEng != nil && cfg.SLOQualityP95 > 0 {
+			// The rollback window consumes the quality SLO's state (windowed,
+			// hysteretic, budget-aware) instead of re-polling the raw p95.
+			hooks.QualityAlarm = s.qualityAlarm
 		}
 		if s.wal != nil {
 			hooks.Journal = s.journalRetrain
@@ -299,6 +343,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/qualityz", s.handleQualityz)
 	mux.HandleFunc("/retrainz", s.handleRetrainz)
+	mux.HandleFunc("/sloz", s.handleSloz)
+	mux.HandleFunc("/debugz", s.handleDebugz)
 	return mux
 }
 
@@ -341,8 +387,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	obs.Logger().Info("drain started", "inflight", s.adm.inFlight())
 	// Stop the retraining controller first: it cancels any in-flight
 	// fine-tune, and no new swap can land mid-drain. A candidate already
-	// published stays published; Close never un-publishes.
+	// published stays published; Close never un-publishes. The telemetry
+	// sampler goes with it — no SLO evaluation races the drain.
 	s.ret.Close()
+	s.ts.Close()
 	if !s.started.Load() {
 		s.baseCancel()
 		s.aud.Close()
@@ -588,9 +636,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	if obs.Enabled() {
 		reg := obs.Default()
 		if res.Degraded {
-			reg.Counter("server/degraded").Inc()
+			reg.Counter(metricDegraded).Inc()
 		}
-		reg.Histogram("server/request_seconds").ObserveDurationExemplar(time.Since(start), span.TraceID())
+		elapsed := time.Since(start)
+		reg.Histogram(metricRequestSeconds).ObserveDurationExemplar(elapsed, span.TraceID())
+		// Per-rung latency (const metric names: no per-request allocation).
+		if res.FromApproximation {
+			reg.Histogram(metricRungApprox).ObserveDuration(elapsed)
+		} else {
+			reg.Histogram(metricRungFull).ObserveDuration(elapsed)
+		}
 	}
 	s.writeJSON(w, http.StatusOK, start, resp)
 }
@@ -653,9 +708,17 @@ type Stats struct {
 	// until a WAL-enabled server finishes recovering).
 	WAL      *wal.Stats    `json:"wal,omitempty"`
 	Recovery *RecoveryInfo `json:"recovery,omitempty"`
+	// SLO is the burn-rate engine's page (absent when no objectives are
+	// configured); Diag is the flight recorder's status (absent when
+	// DiagDir is unset).
+	SLO  *slo.Page    `json:"slo,omitempty"`
+	Diag *diag.Status `json:"diag,omitempty"`
 }
 
-func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+// statsNow assembles the /stats view. Shared by the HTTP handler and the
+// flight recorder (a bundle's stats.json is exactly what /stats would have
+// returned at capture time).
+func (s *Server) statsNow() Stats {
 	st := Stats{
 		Ready:        s.Ready(),
 		Draining:     s.draining.Load(),
@@ -681,7 +744,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.WAL = &ws
 	}
 	st.Recovery = s.RecoveryInfo()
-	s.writeJSON(w, http.StatusOK, time.Now(), st)
+	if s.sloEng != nil {
+		p := s.sloEng.Page()
+		st.SLO = &p
+	}
+	if s.rec != nil {
+		d := s.rec.Status()
+		st.Diag = &d
+	}
+	return st
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, time.Now(), s.statsNow())
 }
 
 // RetrainzPage is the /retrainz payload: the controller status plus the live

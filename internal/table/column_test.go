@@ -174,8 +174,8 @@ func TestValueAppendKeyMatchesKey(t *testing.T) {
 		{Null, "\x00n"},
 		{NewInt(42), "\x00i42"},
 		{NewInt(-7), "\x00i-7"},
-		{NewFloat(42), "\x00i42"},   // integral float unifies with int
-		{NewFloat(-0.0), "\x00i0"},  // negative zero is integral
+		{NewFloat(42), "\x00i42"},  // integral float unifies with int
+		{NewFloat(-0.0), "\x00i0"}, // negative zero is integral
 		{NewFloat(2.5), "\x00f2.5"},
 		{NewString("a b"), "\x00sa b"},
 		{NewBool(true), "\x00b1"},

@@ -65,6 +65,11 @@ const (
 	// TypeCheckpoint marks a snapshot boundary: everything before it is
 	// captured by the snapshot of the record's Generation.
 	TypeCheckpoint Type = 4
+	// TypeDiag marks a flight-recorder capture: the Event field holds the
+	// trigger reason (e.g. "slo-latency") and Path the bundle name. If the
+	// replayed tail ends with diag records, recovery reports that the
+	// process crashed while alerting.
+	TypeDiag Type = 5
 )
 
 // String names the record type for logs and stats.
@@ -78,6 +83,8 @@ func (t Type) String() string {
 		return "retrain"
 	case TypeCheckpoint:
 		return "checkpoint"
+	case TypeDiag:
+		return "diag"
 	default:
 		return fmt.Sprintf("type(%d)", uint8(t))
 	}
@@ -109,6 +116,8 @@ type Record struct {
 	Queries int `json:"queries,omitempty"`
 	// Attempt is the per-batch attempt number (retrain "failed"/"validated").
 	Attempt int `json:"attempt,omitempty"`
+	// Path is the flight-recorder bundle name (diag records).
+	Path string `json:"path,omitempty"`
 }
 
 // Frame layout: magic (4) + version (1) + type (1) + sequence (8, LE) +
@@ -196,9 +205,9 @@ type Log struct {
 	cond     *sync.Cond // broadcast when flushed advances or the log fails
 	f        *os.File
 	w        *bufio.Writer
-	seq      int   // active segment sequence number
-	size     int64 // bytes written (including buffered) to the active segment
-	segs     []int // live segment sequence numbers, ascending (incl. active)
+	seq      int    // active segment sequence number
+	size     int64  // bytes written (including buffered) to the active segment
+	segs     []int  // live segment sequence numbers, ascending (incl. active)
 	written  uint64 // last assigned frame sequence (seeded from recovery)
 	flushed  uint64 // highest frame sequence known durable (fsynced)
 	appended int64  // lifetime appended frames (stats)

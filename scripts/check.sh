@@ -115,6 +115,15 @@ echo "==> go test -bench=AuditDisabledOverhead ./internal/audit/  (-> ${bench_ou
 go test -bench=AuditDisabledOverhead -benchtime=100000x -run='^$' ./internal/audit/ |
 	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
 
+# SLO-instrumentation overhead: with recording off (the shipped default) the
+# request-path instrumentation the SLO layer added must stay one atomic load
+# and zero allocations; the bench records ns/op and allocs/op for both the
+# disabled and armed paths (the hard 0-alloc assertion lives in
+# TestSLOHotPathZeroAlloc, run in the serving gate above).
+echo "==> go test -bench=SLODisabledOverhead ./internal/server/  (-> ${bench_out})"
+go test -bench=SLODisabledOverhead -benchtime=100000x -run='^$' ./internal/server/ |
+	BENCHJSON_OUT="${bench_out}" go run ./scripts/benchjson
+
 # Loadgen smoke: boot a real asqp-serve process on a tiny dataset, point
 # asqp-loadgen at it, and record the end-to-end numbers. Fails if any
 # response is malformed — including a malformed observed_error field — and
@@ -145,7 +154,7 @@ serve_pid=$!
 trap 'kill "${serve_pid}" 2>/dev/null || true; rm -f "${serve_bin}" "${snap_file}"; rm -rf "${trace_dir}"' EXIT
 go run ./cmd/asqp-loadgen -url "http://localhost:${serve_port}" \
 	-clients 8 -duration 6s -scenario drift-storm -retrain-wait 90s \
-	-label LoadgenSmoke -quality -json "${bench_out}"
+	-label LoadgenSmoke -quality -slo-gate -json "${bench_out}"
 kill -TERM "${serve_pid}" 2>/dev/null || true
 wait "${serve_pid}" 2>/dev/null || true
 rm -f "${serve_bin}" "${snap_file}"
@@ -158,6 +167,31 @@ rm -f "${serve_bin}" "${snap_file}"
 echo "==> tracing gate: validate JSONL trace export"
 go run ./scripts/tracecheck "${trace_dir}"
 rm -rf "${trace_dir}"
+trap - EXIT
+
+# SLO burn smoke: a server armed with an impossible latency target (every
+# real request blows a 100µs p99) and second-scale burn windows must reach
+# fast_burn on /sloz under steady loadgen traffic, and the flight recorder
+# must capture a bundle for it — the alerting path end to end, driven by a
+# real process and real HTTP latencies rather than an injected histogram.
+echo "==> slo smoke: impossible latency target -> fast_burn + flight-recorder bundle  (-> ${bench_out})"
+serve_port=18481
+serve_bin="$(mktemp -t asqp-serve.XXXXXX)"
+diag_dir="$(mktemp -d -t asqp-diag.XXXXXX)"
+go build -o "${serve_bin}" ./cmd/asqp-serve
+"${serve_bin}" -addr "localhost:${serve_port}" -scale 0.02 -k 150 -light \
+	-slo-latency-p99 100us -slo-windows 2s,6s,20s,2m \
+	-diag-dir "${diag_dir}" -diag-min-interval 1s \
+	-log warn >/dev/null &
+serve_pid=$!
+trap 'kill "${serve_pid}" 2>/dev/null || true; rm -f "${serve_bin}"; rm -rf "${diag_dir}"' EXIT
+go run ./cmd/asqp-loadgen -url "http://localhost:${serve_port}" \
+	-clients 4 -duration 4s -scenario slo-burn -slo-burn-wait 30s \
+	-label SLOBurnSmoke -json "${bench_out}"
+kill -TERM "${serve_pid}" 2>/dev/null || true
+wait "${serve_pid}" 2>/dev/null || true
+rm -f "${serve_bin}"
+rm -rf "${diag_dir}"
 trap - EXIT
 
 # Durability smoke: the end-to-end kill -9 story. First life: asqp-serve with
